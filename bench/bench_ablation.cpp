@@ -1,0 +1,87 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A1 — dilation parameter σ (boundedness): capacity vs parallelism.
+//   A2 — allocation exponent α' in gi(S): subcluster provisioning.
+//   A3 — base-case size: span/overhead vs cache-complexity granularity.
+// Flags: --n=<size> --algo=trs|lcs (defaults exercise both).
+#include <cmath>
+
+#include "algos/lcs.hpp"
+#include "algos/trs.hpp"
+#include "analysis/pcc.hpp"
+#include "bench_common.hpp"
+#include "nd/drs.hpp"
+#include "sched/sb_scheduler.hpp"
+#include "support/args.hpp"
+
+using namespace ndf;
+
+namespace {
+
+void sigma_sweep(const std::string& name, const SpawnTree& tree,
+                 const StrandGraph& g, const Pmh& m) {
+  Table t("A1: sigma sweep — " + name + " on " + m.to_string());
+  t.set_header({"sigma", "makespan", "misses_L1", "utilization"});
+  for (double sigma : {0.1, 0.2, 1.0 / 3.0, 0.5, 0.8}) {
+    SbOptions o;
+    o.sigma = sigma;
+    const SbStats s = run_sb_scheduler(g, m, o);
+    t.add_row({sigma, s.makespan, s.misses[0], s.utilization});
+  }
+  t.print(std::cout);
+}
+
+void alpha_sweep(const std::string& name, const StrandGraph& g,
+                 const Pmh& m) {
+  Table t("A2: allocation exponent sweep — " + name);
+  t.set_header({"alpha'", "makespan", "utilization", "anchors"});
+  for (double a : {0.25, 0.5, 0.75, 1.0}) {
+    SbOptions o;
+    o.alpha_prime = a;
+    const SbStats s = run_sb_scheduler(g, m, o);
+    t.add_row({a, s.makespan, s.utilization, (long long)s.anchors});
+  }
+  t.print(std::cout);
+}
+
+void base_sweep(std::size_t n) {
+  Table t("A3: base-case sweep — TRS n=" + std::to_string(n));
+  t.set_header({"base", "strands", "span_ND", "span_NP", "Q*(M=768)"});
+  for (std::size_t b : {2, 4, 8, 16}) {
+    SpawnTree tree = make_trs_tree(n, b);
+    StrandGraph g = elaborate(tree);
+    t.add_row({(long long)b, (long long)tree.strand_count(tree.root()),
+               g.span(), elaborate(tree, {.np_mode = true}).span(),
+               parallel_cache_complexity(tree, 768.0)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::size_t n = std::size_t(args.get("n", 64LL));
+  bench::heading("EA ablations",
+                 "Design-choice ablations: boundedness sigma, allocation "
+                 "exponent, base-case size.");
+  {
+    SpawnTree tree = make_trs_tree(n, 4);
+    StrandGraph g = elaborate(tree);
+    Pmh m(PmhConfig::flat(8, 768, 10));
+    sigma_sweep("TRS n=" + std::to_string(n), tree, g, m);
+    Pmh deep(PmhConfig::two_tier(2, 4, 192, 3072, 3, 30));
+    alpha_sweep("TRS n=" + std::to_string(n), g, deep);
+  }
+  {
+    SpawnTree tree = make_lcs_tree(4 * n, 4);
+    StrandGraph g = elaborate(tree);
+    Pmh m(PmhConfig::flat(8, 256, 10));
+    sigma_sweep("LCS n=" + std::to_string(4 * n), tree, g, m);
+  }
+  base_sweep(n);
+  std::cout << "Expected shape: very small sigma serializes (capacity), "
+               "sigma near 1 overcommits caches without miss benefit in "
+               "this model; alpha' mainly shifts anchoring granularity; "
+               "larger bases cut strand counts but coarsen the DAG.\n";
+  return 0;
+}

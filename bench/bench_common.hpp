@@ -1,0 +1,27 @@
+// Shared helpers for the experiment harness binaries. Every bench prints
+// the series the paper's corresponding claim describes (EXPERIMENTS.md maps
+// bench → table/figure/claim) plus a fitted growth exponent where the claim
+// is asymptotic.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/fit.hpp"
+#include "support/table.hpp"
+
+namespace ndf::bench {
+
+inline void heading(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline void print_fit(const std::string& label, std::vector<double> xs,
+                      std::vector<double> ys) {
+  const auto f = ndf::fit_loglog(xs, ys);
+  std::cout << label << ": fitted exponent " << f.slope << " (r2 " << f.r2
+            << ")\n";
+}
+
+}  // namespace ndf::bench

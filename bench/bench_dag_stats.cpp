@@ -1,0 +1,51 @@
+// E12 — structural comparison of every algorithm's DAG in the two models:
+// strand counts, work/span/parallelism, and wavefront (parallelism
+// profile) widths. This is the table form of the paper's Figs. 1, 6, 8,
+// 11: the same spawn tree, drastically different available parallelism.
+#include "algos/cholesky.hpp"
+#include "algos/fw1d.hpp"
+#include "algos/fw2d.hpp"
+#include "algos/gotoh.hpp"
+#include "algos/lcs.hpp"
+#include "algos/lu.hpp"
+#include "algos/matmul.hpp"
+#include "algos/trs.hpp"
+#include "bench_common.hpp"
+#include "nd/drs.hpp"
+#include "nd/stats.hpp"
+
+using namespace ndf;
+
+namespace {
+
+void row(Table& t, const std::string& name, const SpawnTree& tree) {
+  const DagStats nd = compute_stats(elaborate(tree));
+  const DagStats np = compute_stats(elaborate(tree, {.np_mode = true}));
+  t.add_row({name, (long long)nd.strands, nd.work, nd.span, np.span,
+             nd.parallelism, np.parallelism,
+             (long long)nd.max_level_width, (long long)np.max_level_width});
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E12 dag-stats",
+                 "Same spawn trees, two semantics: the ND elaboration's "
+                 "parallelism (T1/T_inf) and wavefront width vs the NP "
+                 "serial elision.");
+  Table t("algorithm DAGs (ND vs NP)");
+  t.set_header({"algo", "strands", "work", "span_ND", "span_NP", "par_ND",
+                "par_NP", "width_ND", "width_NP"});
+  row(t, "MM n=64", make_mm_tree(64, 8));
+  row(t, "TRS n=64", make_trs_tree(64, 8));
+  row(t, "CHO n=64", make_cholesky_tree(64, 8));
+  row(t, "LU n=64", make_lu_tree(64, 8));
+  row(t, "LCS n=256", make_lcs_tree(256, 8));
+  row(t, "GOTOH n=256", make_gotoh_tree(256, 8));
+  row(t, "FW1D n=256", make_fw1d_tree(256, 8));
+  row(t, "FW2D n=64 (NP substrate)", make_fw2d_tree(64, 8));
+  t.print(std::cout);
+  std::cout << "Expected shape: par_ND >> par_NP for TRS/CHO/LCS/GOTOH/FW1D "
+               "(the paper's algorithms); MM similar in both models.\n";
+  return 0;
+}

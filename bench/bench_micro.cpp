@@ -1,0 +1,90 @@
+// E11 — google-benchmark microbenchmarks of the machinery itself: DRS
+// elaboration throughput, work-stealing deque operations, executor
+// overhead per strand, and analysis primitives.
+#include <benchmark/benchmark.h>
+
+#include "algos/lcs.hpp"
+#include "algos/matmul.hpp"
+#include "algos/trs.hpp"
+#include "analysis/decompose.hpp"
+#include "analysis/pcc.hpp"
+#include "nd/drs.hpp"
+#include "runtime/deque.hpp"
+#include "runtime/executor.hpp"
+
+namespace {
+
+using namespace ndf;
+
+void BM_ElaborateMM(benchmark::State& state) {
+  SpawnTree t = make_mm_tree(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    StrandGraph g = elaborate(t);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.num_nodes()));
+}
+BENCHMARK(BM_ElaborateMM)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ElaborateTRS(benchmark::State& state) {
+  SpawnTree t = make_trs_tree(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    StrandGraph g = elaborate(t);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.num_nodes()));
+}
+BENCHMARK(BM_ElaborateTRS)->Arg(32)->Arg(64);
+
+void BM_SpanLCS(benchmark::State& state) {
+  SpawnTree t = make_lcs_tree(static_cast<std::size_t>(state.range(0)), 4);
+  StrandGraph g = elaborate(t);
+  for (auto _ : state) benchmark::DoNotOptimize(g.span());
+}
+BENCHMARK(BM_SpanLCS)->Arg(128)->Arg(256);
+
+void BM_DequePushPop(benchmark::State& state) {
+  WsDeque d(1 << 16);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) d.push(i);
+    for (int i = 0; i < 1024; ++i) benchmark::DoNotOptimize(d.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_ExecutorOverheadPerStrand(benchmark::State& state) {
+  // Structure-only MM: all scheduling, no kernel work.
+  SpawnTree t = make_mm_tree(32, 4);
+  StrandGraph g = elaborate(t);
+  for (auto _ : state) {
+    const ExecReport r =
+        execute_parallel(g, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(r.strands);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.strand_count(t.root())));
+}
+BENCHMARK(BM_ExecutorOverheadPerStrand)->Arg(1)->Arg(4);
+
+void BM_Decompose(benchmark::State& state) {
+  SpawnTree t = make_trs_tree(128, 4);
+  for (auto _ : state) {
+    Decomposition d = decompose(t, 512.0);
+    benchmark::DoNotOptimize(d.maximal.size());
+  }
+}
+BENCHMARK(BM_Decompose);
+
+void BM_Pcc(benchmark::State& state) {
+  SpawnTree t = make_mm_tree(64, 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(parallel_cache_complexity(t, 768.0));
+}
+BENCHMARK(BM_Pcc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

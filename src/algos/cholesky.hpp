@@ -1,0 +1,36 @@
+// Cholesky decomposition A = L·Lᵀ in the ND model (Sec. 3, Eq. 11, Fig. 9).
+//
+// The 2-way recursion per level:
+//   L00 ← CHO(A00)                        (leading factor)
+//   L10 ← TRS: L10·L00ᵀ = A10             (the paper's "TRS(L00, A10ᵀ)ᵀ")
+//   A11 ← A11 − L10·L10ᵀ                  (symmetric down-date, MMS)
+//   L11 ← CHO(A11)                        (trailing factor)
+// composed as (CHO ~CT~> TRS) ~CTMC~> (MMS ~MC~> CHO) with the fire-rule
+// tables in linalg_types.cpp. NP span is Θ(n log² n); ND span is Θ(n)
+// (Eq. 12).
+//
+// The factor is produced in the lower triangle of A in place; the strict
+// upper triangle is scratch (the MMS update writes it symmetrically).
+#pragma once
+
+#include <optional>
+
+#include "algos/linalg_types.hpp"
+#include "nd/spawn_tree.hpp"
+#include "support/matrix.hpp"
+
+namespace ndf {
+
+/// Builds the Cholesky spawn tree over an n×n matrix; strands get kernels
+/// iff `A` is bound.
+NodeId build_cholesky(SpawnTree& tree, const LinalgTypes& ty, std::size_t n,
+                      std::size_t base,
+                      const std::optional<MatrixView<double>>& A);
+
+/// Structure-only tree for analysis.
+SpawnTree make_cholesky_tree(std::size_t n, std::size_t base);
+
+/// Serial in-place reference (lower triangle).
+void cholesky_reference(MatrixView<double> A);
+
+}  // namespace ndf

@@ -1,0 +1,46 @@
+// 1-D Floyd-Warshall (Sec. 3, Eq. 13–15, Fig. 10) — the synthetic dynamic
+// programming benchmark from [50] whose dependency pattern mirrors the
+// Floyd-Warshall APSP inner structure:
+//
+//     d(t, i) = d(t-1, i) ⊕ d(t-1, t-1)
+//
+// We instantiate ⊕ as min(d(t-1,i), d(t-1,t-1) + 1), which exercises the
+// identical dataflow. The A/B task recursion of Eq. (14) carries the
+// diagonal dependency through the AB/ABAB/BA/BB fire tables; the NP
+// lowering has span Θ(n log n) while the ND span is the optimal Θ(n)
+// (Eq. 15).
+#pragma once
+
+#include <optional>
+
+#include "nd/spawn_tree.hpp"
+#include "support/matrix.hpp"
+
+namespace ndf {
+
+// Fire types (derived from the cell-level recurrence; the arXiv tables are
+// a subset and leave two relations implicit — see fw1d.cpp):
+//   AB  : A-task → same-rows B-task (diagonal values)
+//   ABAB: first half-step → second half-step of an A-task
+//   DA  : a diagonal task's LAST diagonal cell → the first row of the task
+//         below it (the boundary d(t-1, t-1) read by row t)
+//   VVA : A-shaped task → the same-column task below (row t-1 values)
+//   VVB : B-shaped task → the same-column task below (the paper's "BB")
+//   BBBB: the two row-halves of a B-task (positional, per the paper)
+struct Fw1dTypes {
+  FireType AB, ABAB, DA, VVA, VVB, BBBB;
+  static Fw1dTypes install(SpawnTree& tree);
+};
+
+/// Builds the FW1D spawn tree over cells (t, i), t,i ∈ [1, n], of an
+/// (n+1)×(n+1) table whose row 0 and column 0 hold the initial values.
+NodeId build_fw1d(SpawnTree& tree, const Fw1dTypes& ty, std::size_t n,
+                  std::size_t base, Matrix<double>* D);
+
+/// Structure-only tree for analysis.
+SpawnTree make_fw1d_tree(std::size_t n, std::size_t base);
+
+/// Serial reference over the same table layout.
+void fw1d_reference(Matrix<double>& D);
+
+}  // namespace ndf

@@ -1,0 +1,36 @@
+// Floyd-Warshall all-pairs shortest paths via the cache-oblivious
+// divide-and-conquer of Chowdhury-Ramachandran [23] (the "2D analog" of
+// Claim 1, with parallel cache complexity Q*(N; M) = O(N^1.5/M^0.5) for
+// N = n² input size).
+//
+// Four mutually recursive task types over the distance matrix D:
+//   A(X)        — diagonal block, k-range = X's own rows;
+//   B(X, U)     — row-panel update, X(i,j) = min(X(i,j), U(i,k)+X(k,j));
+//   C(X, V)     — column-panel update, X(i,j) = min(X(i,j), X(i,k)+V(k,j));
+//   D(X, U, V)  — disjoint update, X(i,j) = min(X(i,j), U(i,k)+V(k,j)).
+//
+// This module provides the NP-model composition (seq/par only), which is
+// what the paper's Claim 1 measures (Q* is identical in NP and ND); the ND
+// fire-table extension for FW2D is the "straightforward extension"
+// mentioned in Sec. 3 and lives in fw2d_nd.* (see DESIGN.md E5/E2).
+#pragma once
+
+#include <optional>
+
+#include "nd/spawn_tree.hpp"
+#include "support/matrix.hpp"
+
+namespace ndf {
+
+/// Builds the NP-model FW2D spawn tree over an n×n distance matrix.
+/// Strands get kernels iff `D` is bound.
+NodeId build_fw2d_np(SpawnTree& tree, std::size_t n, std::size_t base,
+                     Matrix<double>* D);
+
+/// Structure-only tree for analysis.
+SpawnTree make_fw2d_tree(std::size_t n, std::size_t base);
+
+/// Serial reference Floyd-Warshall (in place).
+void fw2d_reference(Matrix<double>& D);
+
+}  // namespace ndf

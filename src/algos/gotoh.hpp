@@ -1,0 +1,58 @@
+// Pairwise sequence alignment with affine gap cost (Gotoh [32]) in the ND
+// model — the paper's footnote 3: "a similar recurrence applies to the
+// pairwise sequence alignment with affine gap cost".
+//
+// Three DP tables over the same (i, j) grid:
+//   M(i,j) — best score ending in a match/mismatch,
+//   E(i,j) — best score ending in a gap in S (horizontal extension),
+//   F(i,j) — best score ending in a gap in T (vertical extension).
+// Every cell reads its west / north / north-west neighbours across the
+// three tables, so the block-level dependence pattern is exactly LCS's
+// (Eqs. 18–21): the LCS fire types HV/VH/H/V are reused unchanged, with a
+// three-table kernel. Span: Θ(n) in ND vs Θ(n log n) in NP.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "algos/lcs.hpp"
+#include "nd/spawn_tree.hpp"
+#include "support/matrix.hpp"
+
+namespace ndf {
+
+struct GotohParams {
+  double match = 2.0;
+  double mismatch = -1.0;
+  double gap_open = -2.0;    ///< charged when a gap starts
+  double gap_extend = -0.5;  ///< charged per gap column
+};
+
+struct GotohViews {
+  const std::vector<int>* S = nullptr;
+  const std::vector<int>* T = nullptr;
+  Matrix<double>* M = nullptr;  ///< (n+1)×(n+1)
+  Matrix<double>* E = nullptr;
+  Matrix<double>* F = nullptr;
+  GotohParams params;
+};
+
+/// Builds the alignment spawn tree over the n×n DP region using the LCS
+/// fire types (install LcsTypes on the same tree first).
+NodeId build_gotoh(SpawnTree& tree, const LcsTypes& ty, std::size_t n,
+                   std::size_t base, const std::optional<GotohViews>& views);
+
+/// Structure-only tree for analysis.
+SpawnTree make_gotoh_tree(std::size_t n, std::size_t base);
+
+/// Serial reference; initializes borders, fills all three tables, returns
+/// the global alignment score M(n, n) ∨ E(n, n) ∨ F(n, n).
+double gotoh_reference(const std::vector<int>& S, const std::vector<int>& T,
+                       const GotohParams& p, Matrix<double>& M,
+                       Matrix<double>& E, Matrix<double>& F);
+
+/// Border initialization shared by the reference and the ND program.
+void gotoh_init_borders(const GotohParams& p, Matrix<double>& M,
+                        Matrix<double>& E, Matrix<double>& F);
+
+}  // namespace ndf

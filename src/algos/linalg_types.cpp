@@ -1,0 +1,157 @@
+#include "algos/linalg_types.hpp"
+
+namespace ndf {
+
+// Pedigree conventions used below (see the builders):
+//
+// Multiply task (matmul.cpp): fire(MMH, G1, G2), where Gg =
+// par(par(sub(g,0,0), sub(g,0,1)), par(sub(g,1,0), sub(g,1,1))) and
+// sub(g,ci,cj) multiplies A(ci,g)·B(g,cj) into C(ci,cj). So within a
+// multiply task, sub(g,ci,cj) is at pedigree (g+1)(ci+1)(cj+1).
+//
+// Left TRS task (trs.cpp): fire(T2M2T, par(pair0, pair1), par(tail0,
+// tail1)) with pair_s = fire(TM, trs_s, mms_s). Strips are column halves of
+// the RHS; X(r, s) (row half r, strip s) is finally produced by
+// (1)(s+1)(1) for r=0 and by (2)(s+1) for r=1.
+//
+// Right TRS task: same shape with strips = row halves; X(s, c) (strip s,
+// column half c) is produced by (1)(s+1)(1) for c=0 and (2)(s+1) for c=1.
+//
+// Cholesky task (cholesky.cpp): fire(CTMC, fire(CT, cho00, trsr10),
+// fire(MC, mms11, cho11)).
+LinalgTypes LinalgTypes::install(SpawnTree& tree) {
+  FireRules& R = tree.rules();
+  LinalgTypes t;
+  t.MMT = R.add_type("MMT");
+  t.MMH = R.add_type("MMH");
+  t.MMP = R.add_type("MMP");
+  t.TM = R.add_type("TM");
+  t.T2M2T = R.add_type("2TM2T");
+  t.MT = R.add_type("MT");
+  t.MB = R.add_type("MB");
+  t.TM1 = R.add_type("TM1");
+  t.T2M2T1 = R.add_type("2TM2T1");
+  t.MT1 = R.add_type("MT1");
+  t.MA = R.add_type("MA");
+  t.TB = R.add_type("TB");
+  t.CT = R.add_type("CT");
+  t.CTMC = R.add_type("CTMC");
+  t.MC = R.add_type("MC");
+
+  // --- MM family (refined Eq. (1)) --------------------------------------
+  R.add_rule(t.MMT, {2}, t.MMH, {1});
+  R.add_rule(t.MMH, {1}, t.MMP, {1});
+  R.add_rule(t.MMH, {2}, t.MMP, {2});
+  R.add_rule(t.MMP, {1}, t.MMT, {1});
+  R.add_rule(t.MMP, {2}, t.MMT, {2});
+
+  // --- Left TRS (Eq. (8) first table, verbatim) --------------------------
+  // Sink mms sub (g,ci,cj) reads B(g, cj) = source X(g, cj).
+  R.add_rule(t.TM, {1, 1, 1}, t.TM, {1, 1, 1});
+  R.add_rule(t.TM, {1, 1, 1}, t.TM, {1, 2, 1});
+  R.add_rule(t.TM, {1, 2, 1}, t.TM, {1, 1, 2});
+  R.add_rule(t.TM, {1, 2, 1}, t.TM, {1, 2, 2});
+  R.add_rule(t.TM, {2, 1}, t.TM, {2, 1, 1});
+  R.add_rule(t.TM, {2, 1}, t.TM, {2, 2, 1});
+  R.add_rule(t.TM, {2, 2}, t.TM, {2, 1, 2});
+  R.add_rule(t.TM, {2, 2}, t.TM, {2, 2, 2});
+
+  // Eq. (5): the trailing solve of each strip waits only on the multiply
+  // that down-dates that strip.
+  R.add_rule(t.T2M2T, {1, 2}, t.MT, {1});
+  R.add_rule(t.T2M2T, {2, 2}, t.MT, {2});
+
+  // MMS C → left TRS. Sink's strip-s leading solve reads C(0,s); its
+  // strip-s multiply consumes C(0,s) as B and updates C(1,s); trailing
+  // solves are ordered transitively by the sink's internal T2M2T.
+  R.add_rule(t.MT, {2, 1, 1}, t.MT, {1, 1, 1});
+  R.add_rule(t.MT, {2, 1, 1}, t.MB, {1, 1, 2});
+  R.add_rule(t.MT, {2, 1, 2}, t.MT, {1, 2, 1});
+  R.add_rule(t.MT, {2, 1, 2}, t.MB, {1, 2, 2});
+  R.add_rule(t.MT, {2, 2, 1}, t.MMT, {1, 1, 2});
+  R.add_rule(t.MT, {2, 2, 2}, t.MMT, {1, 2, 2});
+
+  // MMS C → MMS as B-operand: sink sub (g,ci,cj) reads B(g,cj), whose
+  // final producer is source sub (1,g,cj) = +(2)(g+1)(cj+1).
+  R.add_rule(t.MB, {2, 1, 1}, t.MB, {1, 1, 1});
+  R.add_rule(t.MB, {2, 1, 1}, t.MB, {1, 2, 1});
+  R.add_rule(t.MB, {2, 1, 2}, t.MB, {1, 1, 2});
+  R.add_rule(t.MB, {2, 1, 2}, t.MB, {1, 2, 2});
+  R.add_rule(t.MB, {2, 2, 1}, t.MB, {2, 1, 1});
+  R.add_rule(t.MB, {2, 2, 1}, t.MB, {2, 2, 1});
+  R.add_rule(t.MB, {2, 2, 2}, t.MB, {2, 1, 2});
+  R.add_rule(t.MB, {2, 2, 2}, t.MB, {2, 2, 2});
+
+  // --- Right transposed TRS (the paper's TM1 family, typos fixed) --------
+  // Right-TRS X → MMS' as A-operand: sink sub (g,ci,cj) reads A(ci,g),
+  // produced by source's strip-ci solve (g=0) or trailing solve (g=1).
+  R.add_rule(t.TM1, {1, 1, 1}, t.TM1, {1, 1, 1});
+  R.add_rule(t.TM1, {1, 1, 1}, t.TM1, {1, 1, 2});
+  R.add_rule(t.TM1, {1, 2, 1}, t.TM1, {1, 2, 1});
+  R.add_rule(t.TM1, {1, 2, 1}, t.TM1, {1, 2, 2});
+  R.add_rule(t.TM1, {2, 1}, t.TM1, {2, 1, 1});
+  R.add_rule(t.TM1, {2, 1}, t.TM1, {2, 1, 2});
+  R.add_rule(t.TM1, {2, 2}, t.TM1, {2, 2, 1});
+  R.add_rule(t.TM1, {2, 2}, t.TM1, {2, 2, 2});
+
+  R.add_rule(t.T2M2T1, {1, 2}, t.MT1, {1});
+  R.add_rule(t.T2M2T1, {2, 2}, t.MT1, {2});
+
+  // MMS' C → right TRS: strip-s leading solve reads C(s,0); strip-s
+  // multiply consumes C(s,0) as A and updates C(s,1).
+  R.add_rule(t.MT1, {2, 1, 1}, t.MT1, {1, 1, 1});
+  R.add_rule(t.MT1, {2, 1, 1}, t.MA, {1, 1, 2});
+  R.add_rule(t.MT1, {2, 2, 1}, t.MT1, {1, 2, 1});
+  R.add_rule(t.MT1, {2, 2, 1}, t.MA, {1, 2, 2});
+  R.add_rule(t.MT1, {2, 1, 2}, t.MMT, {1, 1, 2});
+  R.add_rule(t.MT1, {2, 2, 2}, t.MMT, {1, 2, 2});
+
+  // MMS C → MMS as A-operand: sink sub (g,ci,cj) reads A(ci,g), produced
+  // by source sub (1,ci,g) = +(2)(ci+1)(g+1).
+  R.add_rule(t.MA, {2, 1, 1}, t.MA, {1, 1, 1});
+  R.add_rule(t.MA, {2, 1, 1}, t.MA, {1, 1, 2});
+  R.add_rule(t.MA, {2, 1, 2}, t.MA, {2, 1, 1});
+  R.add_rule(t.MA, {2, 1, 2}, t.MA, {2, 1, 2});
+  R.add_rule(t.MA, {2, 2, 1}, t.MA, {1, 2, 1});
+  R.add_rule(t.MA, {2, 2, 1}, t.MA, {1, 2, 2});
+  R.add_rule(t.MA, {2, 2, 2}, t.MA, {2, 2, 1});
+  R.add_rule(t.MA, {2, 2, 2}, t.MA, {2, 2, 2});
+
+  // Right-TRS X → MMS' as transposed B-operand: sink sub (g,ci,cj) reads
+  // the stored-B block (cj, g) of X.
+  R.add_rule(t.TB, {1, 1, 1}, t.TB, {1, 1, 1});
+  R.add_rule(t.TB, {1, 1, 1}, t.TB, {1, 2, 1});
+  R.add_rule(t.TB, {1, 2, 1}, t.TB, {1, 1, 2});
+  R.add_rule(t.TB, {1, 2, 1}, t.TB, {1, 2, 2});
+  R.add_rule(t.TB, {2, 1}, t.TB, {2, 1, 1});
+  R.add_rule(t.TB, {2, 1}, t.TB, {2, 2, 1});
+  R.add_rule(t.TB, {2, 2}, t.TB, {2, 1, 2});
+  R.add_rule(t.TB, {2, 2}, t.TB, {2, 2, 2});
+
+  // --- Cholesky ----------------------------------------------------------
+  // CHO L → right TRS: the solve subtasks read L00.00, the multiply
+  // subtasks read L00.10 (as transposed B), the trailing solves L00.11.
+  R.add_rule(t.CT, {1, 1}, t.CT, {1, 1, 1});
+  R.add_rule(t.CT, {1, 1}, t.CT, {1, 2, 1});
+  R.add_rule(t.CT, {1, 2}, t.TB, {1, 1, 2});
+  R.add_rule(t.CT, {1, 2}, t.TB, {1, 2, 2});
+  R.add_rule(t.CT, {2, 2}, t.CT, {2, 1});
+  R.add_rule(t.CT, {2, 2}, t.CT, {2, 2});
+
+  // (CHO ~CT~> TRS) → (MMS' ~MC~> CHO): the symmetric down-date consumes
+  // L10 as both its A and its (transposed) B operand — the paper's "TM2 =
+  // TM ∪ TM1" union, spelled out.
+  R.add_rule(t.CTMC, {2}, t.TM1, {1});
+  R.add_rule(t.CTMC, {2}, t.TB, {1});
+
+  // MMS' C (= A11) → CHO: leading factor reads A11.00; the sink's solve
+  // reads A11.10 as RHS; the sink's down-date shares A11.11 with the
+  // source's last writers.
+  R.add_rule(t.MC, {2, 1, 1}, t.MC, {1, 1});
+  R.add_rule(t.MC, {2, 2, 1}, t.MT1, {1, 2});
+  R.add_rule(t.MC, {2, 2, 2}, t.MMT, {2, 1});
+
+  return t;
+}
+
+}  // namespace ndf

@@ -1,0 +1,56 @@
+// Fire types and rule tables for the dense linear-algebra algorithms of
+// Sec. 2–3. The tables are derived from the block-level data flow of each
+// algorithm (which quadrant each subtask reads/writes) and validated by the
+// determinacy property tests; DESIGN.md records where they refine the
+// arXiv text's tables (which contain several transcription typos and leave
+// the transposed-operand variants implicit).
+//
+// Naming convention for the MM family. A "multiply task" is an 8-way MM
+// node (fire of two 4-product groups), a q-split node, or a leaf; it reads
+// A and B and accumulates into all of C. The pedigree shape alternates
+// fire → par(group) → par(pair) → task, hence three mutually recursive
+// types:
+//   MMT: task → task, same C. Source's second k-half (its last writers)
+//        gates the sink's first k-half:   { +(2) MMH -(1) }.
+//   MMH: group → group, C partitioned positionally into pair rows:
+//        { +(1) MMP -(1), +(2) MMP -(2) }.
+//   MMP: pair → pair, positional C quadrants:
+//        { +(1) MMT -(1), +(2) MMT -(2) }.
+// (The paper's Eq. (1) writes the MM construct as two positional rules; at
+// task-to-task granularity that leaves the source's second k-half and the
+// sink's first unordered on shared C blocks, which the determinacy checker
+// flags — the MMT/MMH/MMP split is the faithful repair.)
+//
+// Operand-flow types (X = a triangular solve's output, C = a multiply's
+// output; "as A/B" = consumed as that operand of a multiply):
+//   TM : left-TRS X → MMS as B       (paper Eq. (8), verified verbatim)
+//   MB : MMS C → MMS as B
+//   MT : MMS C → left-TRS as RHS     (+ MB/MMT side rules)
+//   T2M2T : Eq. (5)                   { +(1)(2) MT -(1), +(2)(2) MT -(2) }
+//   TM1: right-TRS X → MMS' as A     (the paper's "TM1" transposed variant)
+//   MA : MMS C → MMS as A
+//   MT1: MMS' C → right-TRS as RHS
+//   T2M2T1: right-variant of Eq. (5)
+//   TB : right-TRS X → MMS' as transposed-B
+//   CT / CTMC / MC: Cholesky's tables over the above.
+#pragma once
+
+#include "nd/spawn_tree.hpp"
+
+namespace ndf {
+
+struct LinalgTypes {
+  // MM family.
+  FireType MMT, MMH, MMP;
+  // Left triangular solve (T·X = B).
+  FireType TM, T2M2T, MT, MB;
+  // Right transposed solve (X·Lᵀ = B).
+  FireType TM1, T2M2T1, MT1, MA, TB;
+  // Cholesky.
+  FireType CT, CTMC, MC;
+
+  /// Registers all types and their rule tables in `tree.rules()`.
+  static LinalgTypes install(SpawnTree& tree);
+};
+
+}  // namespace ndf

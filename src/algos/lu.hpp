@@ -1,0 +1,53 @@
+// LU factorization with partial pivoting (Sec. 3, after Toledo [51]).
+//
+// Recursive on column blocks over the trailing rows: for the instance on
+// columns [col0, col0+c) and rows [col0, n),
+//
+//   1. LU on the left half-panel (recursively),
+//   2. apply its row swaps to the right half columns (deferred pivoting),
+//   3. U01 ← L00⁻¹·A01(top), then A11(bottom) −= L10·U01 (ND TRS and MMS),
+//   4. LU on the trailing block (recursively),
+//   5. apply the trailing swaps back to the left half's bottom rows.
+//
+// The paper obtains LU "by a straightforward parallelization of Toledo's
+// algorithm combined with replacing TRS by the ND TRS": the LU-level
+// composition stays serial (pivoting is inherently sequential across
+// panels) while the TRS and MMS substeps use the ND fire constructs; the
+// resulting span is O(m log n) for an n×m matrix, versus O(m log² n)-type
+// behaviour in the NP model where TRS itself has span Θ(m log m).
+//
+// Pivots are recorded LAPACK-style in `ipiv` (global row indices: step k
+// swapped rows k and ipiv[k]); the factored matrix holds L (unit lower) and
+// U in place.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "algos/linalg_types.hpp"
+#include "nd/spawn_tree.hpp"
+#include "support/matrix.hpp"
+
+namespace ndf {
+
+struct LuViews {
+  MatrixView<double> A;        ///< full n×n matrix, factored in place
+  std::vector<int>* ipiv;      ///< size-n pivot record, filled in
+};
+
+/// Builds the LU spawn tree for an n×n matrix with panel width `base`.
+NodeId build_lu(SpawnTree& tree, const LinalgTypes& ty, std::size_t n,
+                std::size_t base, const std::optional<LuViews>& views);
+
+/// Structure-only tree for analysis.
+SpawnTree make_lu_tree(std::size_t n, std::size_t base);
+
+/// Serial reference: in-place LU with partial pivoting; fills ipiv.
+void lu_reference(MatrixView<double> A, std::vector<int>& ipiv);
+
+/// Applies the row swaps ipiv[k0..k1) to the given column range of A.
+void apply_pivots(MatrixView<double> A, const std::vector<int>& ipiv,
+                  std::size_t k0, std::size_t k1, std::size_t c0,
+                  std::size_t c1);
+
+}  // namespace ndf

@@ -1,0 +1,42 @@
+// Divide-and-conquer matrix multiply-accumulate C ±= A·B in the ND model
+// (Sec. 2): the 2-way algorithm splits all three dimensions, runs the four
+// products into distinct C quadrants of each half in parallel, and connects
+// the two halves (which write the same C quadrants) with the "MM" fire
+// construct of Eq. (1) instead of a full serial barrier.
+//
+// The builder is shared by MM (sign=+1) and MMS (sign=-1, Sec. 3), supports
+// rectangular operands (needed by LU), and an optional transposed-B variant
+// (C ±= A·Bᵀ, needed by Cholesky's L10·L10ᵀ update).
+#pragma once
+
+#include <optional>
+
+#include "algos/linalg_types.hpp"
+#include "nd/spawn_tree.hpp"
+#include "support/matrix.hpp"
+
+namespace ndf {
+
+/// Operand bindings for an executable multiply. A is p×q, C is p×s; B is
+/// q×s, or s×q when b_transposed (in which case the logical operand is Bᵀ).
+struct MmViews {
+  MatrixView<double> A, B, C;
+  bool b_transposed = false;
+};
+
+/// Builds the spawn tree of C ±= A·B for logical dimensions (p, q, s).
+/// If `views` is set, strands carry executable kernels and declared
+/// read/write footprints. Returns the root node id (the caller composes it
+/// further or calls tree.set_root()).
+NodeId build_mm(SpawnTree& tree, const LinalgTypes& ty, std::size_t p,
+                std::size_t q, std::size_t s, std::size_t base, double sign,
+                const std::optional<MmViews>& views);
+
+/// Convenience: square n×n×n structure-only tree (for analysis).
+SpawnTree make_mm_tree(std::size_t n, std::size_t base);
+
+/// Serial reference kernel: C += sign · A·B (or A·Bᵀ).
+void mm_reference(MatrixView<double> A, MatrixView<double> B,
+                  MatrixView<double> C, double sign, bool b_transposed = false);
+
+}  // namespace ndf

@@ -1,0 +1,46 @@
+// Triangular system solver in the ND model (Sec. 3, Eq. 4, Figs. 6–8).
+//
+// TRS(T, B) solves T·X = B for lower-triangular T, overwriting B with X.
+// The 2-way decomposition (Eq. 2) yields, per recursion level, two
+// (TRS ~TM~> MMS) pairs in parallel, connected to the two trailing TRS
+// subtasks by the "2TM2T" fire construct (Eq. 5); TM/MT refine recursively
+// per Eq. (8). In NP mode (serial elision) the same tree has span
+// Θ(n log n); in ND mode the span is Θ(n) (Fig. 8).
+//
+// The RightLowerT variant solves X·Lᵀ = B (same dependence structure with
+// rows and columns exchanged); Cholesky uses it for L10 ← A10·L00⁻ᵀ, the
+// paper's "TRS(L00, A10ᵀ)ᵀ".
+#pragma once
+
+#include <optional>
+
+#include "algos/linalg_types.hpp"
+#include "nd/spawn_tree.hpp"
+#include "support/matrix.hpp"
+
+namespace ndf {
+
+enum class TrsSide {
+  LeftLower,   ///< T·X = B,  T is n×n lower, B is n×m
+  RightLowerT  ///< X·Lᵀ = B, L is k×k lower, B is m×k
+};
+
+struct TrsViews {
+  MatrixView<double> T;  ///< the triangular factor (lower)
+  MatrixView<double> B;  ///< right-hand side, overwritten with X
+  bool unit_diag = false;  ///< treat diag(T) as ones (LU's L factor)
+};
+
+/// Builds the TRS spawn tree; strands get kernels iff `views` is bound.
+NodeId build_trs(SpawnTree& tree, const LinalgTypes& ty, TrsSide side,
+                 std::size_t n, std::size_t m, std::size_t base,
+                 const std::optional<TrsViews>& views);
+
+/// Square n×n structure-only tree (for analysis), LeftLower side.
+SpawnTree make_trs_tree(std::size_t n, std::size_t base);
+
+/// Serial reference solvers (in-place on B).
+void trs_reference(TrsSide side, MatrixView<double> T, MatrixView<double> B,
+                   bool unit_diag = false);
+
+}  // namespace ndf

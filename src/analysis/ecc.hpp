@@ -1,0 +1,64 @@
+// Effective cache complexity Q̂α(t; M) (Definition 2) and the
+// parallelizability αmax of an algorithm (Sec. 4).
+//
+// The spawn tree is unrolled to its M-maximal leaves; all dataflow arrows
+// between them (fire-derived and seq) are regarded as dependencies. Then
+//
+//   ⌈Q̂α(t)/s(t)^α⌉ = max( depth term, work term )
+//     depth term = max over chains χ of M-maximal tasks of
+//                  Σ_{ti∈χ} ⌈Q̂α(ti)/s(ti)^α⌉, with Q̂α(ti) = Q*(ti;M) = s(ti)
+//     work term  = ⌈ Σ_{ti} Q̂α(ti) / s(t)^α ⌉
+//
+// The depth term is computed as a longest vertex-weighted path over the
+// condensation of the strand DAG onto M-maximal supernodes (glue vertices
+// carry weight 0 but provide connectivity).
+//
+// αmax(M) is the largest α for which Q̂α(t;M) ≤ cU · Q*(t;M); past it the
+// depth-dominated term takes over and space-bounded scheduling can no
+// longer load balance the task on a machine of that parallelism.
+#pragma once
+
+#include <vector>
+
+#include "analysis/decompose.hpp"
+#include "analysis/pcc.hpp"
+#include "nd/graph.hpp"
+
+namespace ndf {
+
+/// Condensation of a strand graph onto the M-maximal decomposition.
+/// Supernode ids: [0, maximal.size()) are maximal tasks; the rest are
+/// individual enter/exit vertices of glue nodes.
+struct MaximalDag {
+  std::size_t num_maximal = 0;
+  std::vector<std::vector<std::uint32_t>> succ;
+  std::vector<std::uint32_t> in_degree;
+
+  std::size_t num_supernodes() const { return succ.size(); }
+
+  /// Longest path where maximal supernode i has weight `weights[i]` and
+  /// glue vertices weigh 0. Validates acyclicity.
+  double longest_chain(const std::vector<double>& weights) const;
+};
+
+MaximalDag build_maximal_dag(const StrandGraph& g, const Decomposition& d);
+
+struct EccResult {
+  double depth_term = 0.0;  ///< max chain of effective depths
+  double work_term = 0.0;   ///< ⌈Q*(t;M)-ish / s(t)^α⌉
+  double effective_depth = 0.0;
+  double q_hat = 0.0;       ///< Q̂α(t;M)
+};
+
+EccResult effective_cache_complexity(const SpawnTree& tree,
+                                     const StrandGraph& g,
+                                     const Decomposition& d, double alpha);
+
+/// Largest α in [lo, hi] (granularity `step`) with Q̂α ≤ cU·Q*. Returns lo
+/// if even lo fails.
+double parallelizability(const SpawnTree& tree, const StrandGraph& g,
+                         const Decomposition& d, double cU = 2.0,
+                         double lo = 0.0, double hi = 1.5,
+                         double step = 1.0 / 64.0);
+
+}  // namespace ndf

@@ -1,0 +1,17 @@
+#include "analysis/pcc.hpp"
+
+namespace ndf {
+
+double parallel_cache_complexity(const SpawnTree& tree,
+                                 const Decomposition& d) {
+  double q = 0.0;
+  for (NodeId m : d.maximal) q += tree.size_of(m);
+  q += kGlueCost * static_cast<double>(d.glue.size());
+  return q;
+}
+
+double parallel_cache_complexity(const SpawnTree& tree, double M) {
+  return parallel_cache_complexity(tree, decompose(tree, M));
+}
+
+}  // namespace ndf

@@ -1,0 +1,21 @@
+// Parallel cache complexity Q*(t; M) (Sec. 4, Fig. 13): the sum of the
+// sizes of the M-maximal subtasks of t plus a constant overhead per glue
+// node. Q* does not depend on the traversal order, and by Theorem 1 bounds
+// the level-j misses of any space-bounded execution (with M = σ·Mj).
+#pragma once
+
+#include "analysis/decompose.hpp"
+
+namespace ndf {
+
+/// Cost charged per glue node (the paper's "constant overhead").
+inline constexpr double kGlueCost = 1.0;
+
+/// Q*(root; M) computed from a decomposition.
+double parallel_cache_complexity(const SpawnTree& tree,
+                                 const Decomposition& d);
+
+/// Convenience overload: decomposes and evaluates.
+double parallel_cache_complexity(const SpawnTree& tree, double M);
+
+}  // namespace ndf

@@ -1,0 +1,24 @@
+// Graphviz (DOT) export of spawn trees and elaborated algorithm DAGs, for
+// documentation and debugging of fire-rule tables. Mirrors the paper's
+// figures: spawn trees render composition constructs as labeled internal
+// nodes (";", "‖", "~T~>"); algorithm DAGs render strands with their
+// dataflow edges.
+#pragma once
+
+#include <string>
+
+#include "nd/graph.hpp"
+#include "nd/spawn_tree.hpp"
+
+namespace ndf {
+
+/// DOT rendering of the spawn tree (structure only, no dataflow arrows).
+std::string to_dot(const SpawnTree& tree);
+
+/// DOT rendering of the strand-level algorithm DAG: strand vertices plus
+/// the task-level arrows recorded during elaboration. Control (enter/exit)
+/// vertices are elided; `max_strands` guards against accidentally dumping
+/// a million-node graph.
+std::string to_dot(const StrandGraph& g, std::size_t max_strands = 4096);
+
+}  // namespace ndf

@@ -1,0 +1,108 @@
+#include "nd/drs.hpp"
+
+#include <unordered_set>
+
+namespace ndf {
+
+namespace {
+
+/// Packs (src, dst, type) for the rewrite memo table. NodeIds are < 2^24 in
+/// any tree we build (checked below); types < 2^16.
+std::uint64_t memo_key(NodeId a, NodeId b, FireType t) {
+  return (std::uint64_t(a) << 40) | (std::uint64_t(b) << 16) |
+         std::uint64_t(std::uint16_t(t));
+}
+
+class Elaborator {
+ public:
+  Elaborator(const SpawnTree& tree, ElabOptions opts, StrandGraph& g)
+      : tree_(tree), opts_(opts), g_(g) {}
+
+  void run() {
+    NDF_CHECK_MSG(tree_.num_nodes() < (1u << 24),
+                  "spawn tree too large for arrow memo keys");
+    const NodeId root = tree_.root();
+    // Structural + seq edges for every node.
+    for (NodeId n = 0; n < tree_.num_nodes(); ++n) {
+      if (!tree_.in_subtree(n, root)) continue;  // ignore detached nodes
+      const SpawnNode& node = tree_.node(n);
+      switch (node.kind) {
+        case Kind::Strand:
+          g_.add_edge(g_.enter(n), g_.exit(n));
+          break;
+        case Kind::Seq:
+          link_children(n);
+          for (std::size_t i = 0; i + 1 < node.children.size(); ++i)
+            solid(node.children[i], node.children[i + 1]);
+          break;
+        case Kind::Par:
+          link_children(n);
+          break;
+        case Kind::Fire:
+          link_children(n);
+          rewrite(node.children[0], node.children[1], node.fire_type, 0);
+          break;
+      }
+    }
+  }
+
+ private:
+  void link_children(NodeId n) {
+    for (NodeId c : tree_.node(n).children) {
+      g_.add_edge(g_.enter(n), g_.enter(c));
+      g_.add_edge(g_.exit(c), g_.exit(n));
+    }
+  }
+
+  /// Emits the solid arrow a → b (full dependency between subtrees).
+  void solid(NodeId a, NodeId b) {
+    if (!seen_.insert(memo_key(a, b, FireRules::kFull)).second) return;
+    g_.add_edge(g_.exit(a), g_.enter(b));
+    g_.record_arrow(a, b);
+  }
+
+  void rewrite(NodeId a, NodeId b, FireType type, int depth) {
+    NDF_CHECK_MSG(depth < 256, "fire-rule rewriting did not terminate");
+    if (type == FireRules::kEmpty) return;
+    if (type == FireRules::kFull || opts_.np_mode) {
+      solid(a, b);
+      return;
+    }
+    if (!seen_.insert(memo_key(a, b, type)).second) return;
+
+    const auto& rules = tree_.rules().rules(type);
+    const bool a_strand = tree_.is_strand(a);
+    const bool b_strand = tree_.is_strand(b);
+    if (a_strand && b_strand) {
+      // Recursion terminated: a named fire type between strands is a full
+      // dependency (types with no rules behave like "‖").
+      if (!rules.empty()) solid(a, b);
+      return;
+    }
+    for (const FireRule& r : rules) {
+      const NodeId sa = tree_.descend(a, r.src);
+      const NodeId sb = tree_.descend(b, r.dst);
+      // Progress guard: at least one endpoint must move, or the type must
+      // change, for the rewriting to be well-founded.
+      NDF_CHECK_MSG(sa != a || sb != b || r.inner != type,
+                    "non-productive fire rule in type "
+                        << tree_.rules().name(type));
+      rewrite(sa, sb, r.inner, depth + 1);
+    }
+  }
+
+  const SpawnTree& tree_;
+  ElabOptions opts_;
+  StrandGraph& g_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace
+
+StrandGraph elaborate(const SpawnTree& tree, ElabOptions opts) {
+  StrandGraph g(tree);
+  Elaborator(tree, opts, g).run();
+  return g;
+}
+
+}  // namespace ndf

@@ -1,0 +1,78 @@
+// Fire-rule tables defining the semantics of "~>" (the paper's ";→" fire
+// construct). Each fire *type* (e.g. "MM", "TM", "2TM2T") owns a set of
+// rewriting rules
+//
+//     +(p)  T'~>  -(q)
+//
+// meaning: a dashed arrow of this type from source S to sink K is rewritten
+// into an arrow of type T' from the subtask of S at pedigree p to the
+// subtask of K at pedigree q (Sec. 2, "Fire Rule").
+//
+// Two built-in types close the construct algebra (Sec. 2): kFull, the total
+// dependency ";" (solid arrow), and kEmpty, the zero dependency "‖".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nd/pedigree.hpp"
+#include "support/check.hpp"
+
+namespace ndf {
+
+/// Identifier of a fire type within a FireRules registry.
+using FireType = int;
+
+/// A single rewriting rule of a fire type.
+struct FireRule {
+  Pedigree src;    ///< pedigree below the source (+)
+  FireType inner;  ///< type of the rewritten arrow
+  Pedigree dst;    ///< pedigree below the sink (-)
+};
+
+/// Registry of fire types and their rule tables for one ND program.
+class FireRules {
+ public:
+  /// Built-in: total dependency (the ";" serial construct as an arrow).
+  static constexpr FireType kFull = 0;
+  /// Built-in: zero dependency (the "‖" construct as an arrow).
+  static constexpr FireType kEmpty = 1;
+
+  FireRules() : names_{"FULL", "EMPTY"}, rules_(2) {}
+
+  /// Registers a named fire type with an (initially empty) rule table.
+  FireType add_type(std::string name) {
+    names_.push_back(std::move(name));
+    rules_.emplace_back();
+    return static_cast<FireType>(names_.size() - 1);
+  }
+
+  /// Appends one rewriting rule to `type`'s table.
+  void add_rule(FireType type, Pedigree src, FireType inner, Pedigree dst) {
+    NDF_CHECK_MSG(type > kEmpty, "cannot add rules to built-in types");
+    NDF_CHECK(valid(inner));
+    rules_[type].push_back(FireRule{std::move(src), inner, std::move(dst)});
+  }
+
+  bool valid(FireType t) const {
+    return t >= 0 && t < static_cast<FireType>(rules_.size());
+  }
+
+  const std::vector<FireRule>& rules(FireType t) const {
+    NDF_CHECK(valid(t));
+    return rules_[t];
+  }
+
+  const std::string& name(FireType t) const {
+    NDF_CHECK(valid(t));
+    return names_[t];
+  }
+
+  std::size_t num_types() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<FireRule>> rules_;
+};
+
+}  // namespace ndf

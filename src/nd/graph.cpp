@@ -1,0 +1,69 @@
+#include "nd/graph.hpp"
+
+#include <algorithm>
+
+namespace ndf {
+
+StrandGraph::StrandGraph(const SpawnTree& tree)
+    : tree_(&tree),
+      succ_(2 * tree.num_nodes()),
+      in_degree_(2 * tree.num_nodes(), 0),
+      weight_(2 * tree.num_nodes(), 0.0) {
+  for (NodeId n = 0; n < tree.num_nodes(); ++n)
+    if (tree.node(n).kind == Kind::Strand &&
+        tree.in_subtree(n, tree.root()))
+      weight_[exit(n)] = tree.node(n).work;
+}
+
+void StrandGraph::add_edge(VertexId u, VertexId v) {
+  NDF_DCHECK(u < succ_.size() && v < succ_.size());
+  succ_[u].push_back(v);
+  ++in_degree_[v];
+  ++num_edges_;
+}
+
+std::vector<VertexId> StrandGraph::topological_order() const {
+  std::vector<std::uint32_t> indeg = in_degree_;
+  std::vector<VertexId> order;
+  order.reserve(num_vertices());
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    if (indeg[v] == 0) frontier.push_back(v);
+  while (!frontier.empty()) {
+    VertexId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (VertexId w : succ_[v])
+      if (--indeg[w] == 0) frontier.push_back(w);
+  }
+  NDF_CHECK_MSG(order.size() == num_vertices(),
+                "cycle detected in elaborated DAG ("
+                    << order.size() << " of " << num_vertices()
+                    << " vertices ordered) — inconsistent fire rules?");
+  return order;
+}
+
+double StrandGraph::work() const {
+  double w = 0.0;
+  for (double x : weight_) w += x;
+  return w;
+}
+
+std::vector<double> StrandGraph::longest_path_to() const {
+  const std::vector<VertexId> order = topological_order();
+  std::vector<double> dist(num_vertices(), 0.0);
+  for (VertexId v : order) {
+    dist[v] += weight_[v];
+    for (VertexId w : succ_[v]) dist[w] = std::max(dist[w], dist[v]);
+  }
+  return dist;
+}
+
+double StrandGraph::span() const {
+  const std::vector<double> dist = longest_path_to();
+  double s = 0.0;
+  for (double d : dist) s = std::max(s, d);
+  return s;
+}
+
+}  // namespace ndf

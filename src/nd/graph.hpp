@@ -1,0 +1,78 @@
+// Strand-level dependence graph produced by elaborating a spawn tree with
+// the DAG Rewriting System (drs.hpp).
+//
+// Every spawn-tree node contributes two vertices, enter(n) and exit(n); a
+// solid arrow between subtrees A → B becomes the single edge
+// exit(A) → enter(B), which encodes the paper's "all-to-all between
+// descendants" shorthand without materializing quadratically many edges.
+// Strand work is carried as a weight on the strand's exit vertex, so the
+// weight of a longest (vertex-weighted) path is exactly the span T∞.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nd/spawn_tree.hpp"
+
+namespace ndf {
+
+using VertexId = std::uint32_t;
+
+/// A dependence edge between spawn-tree nodes recorded during elaboration
+/// (solid arrows only, i.e. after all fire rewriting).
+struct TaskArrow {
+  NodeId from;
+  NodeId to;
+};
+
+class StrandGraph {
+ public:
+  explicit StrandGraph(const SpawnTree& tree);
+
+  const SpawnTree& tree() const { return *tree_; }
+
+  VertexId enter(NodeId n) const { return 2 * n; }
+  VertexId exit(NodeId n) const { return 2 * n + 1; }
+  NodeId owner(VertexId v) const { return v / 2; }
+  bool is_exit(VertexId v) const { return v % 2 == 1; }
+
+  std::size_t num_vertices() const { return succ_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  void add_edge(VertexId u, VertexId v);
+
+  const std::vector<VertexId>& successors(VertexId v) const {
+    return succ_[v];
+  }
+  std::size_t in_degree(VertexId v) const { return in_degree_[v]; }
+  double vertex_weight(VertexId v) const { return weight_[v]; }
+
+  /// Solid task-level arrows recorded during elaboration, including seq
+  /// ordering edges; used to condense onto M-maximal tasks.
+  const std::vector<TaskArrow>& arrows() const { return arrows_; }
+  void record_arrow(NodeId from, NodeId to) { arrows_.push_back({from, to}); }
+
+  /// Kahn topological order. Throws CheckError if the graph has a cycle
+  /// (which would indicate an inconsistent fire-rule table).
+  std::vector<VertexId> topological_order() const;
+
+  /// Total work (sum of strand weights).
+  double work() const;
+
+  /// Span: maximum vertex-weighted path length. Validates acyclicity.
+  double span() const;
+
+  /// Per-vertex longest-path-to-vertex distances (inclusive of the vertex's
+  /// own weight), in topological order. Used by schedulers and tests.
+  std::vector<double> longest_path_to() const;
+
+ private:
+  const SpawnTree* tree_;
+  std::vector<std::vector<VertexId>> succ_;
+  std::vector<std::uint32_t> in_degree_;
+  std::vector<double> weight_;
+  std::vector<TaskArrow> arrows_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ndf

@@ -1,0 +1,35 @@
+#include "nd/lower.hpp"
+
+namespace ndf {
+
+SpawnTree lower_to_np(const SpawnTree& tree) {
+  SpawnTree out;
+  // Recursive copy; node ids change (detached nodes are dropped).
+  auto copy = [&](auto&& self, NodeId n) -> NodeId {
+    const SpawnNode& node = tree.node(n);
+    if (node.kind == Kind::Strand) {
+      const NodeId id =
+          out.strand(node.work, node.size, node.label, node.body);
+      out.node(id).reads = node.reads;
+      out.node(id).writes = node.writes;
+      return id;
+    }
+    std::vector<NodeId> kids;
+    kids.reserve(node.children.size());
+    for (NodeId c : node.children) kids.push_back(self(self, c));
+    switch (node.kind) {
+      case Kind::Par:
+        return out.par(std::move(kids), node.size, node.label);
+      case Kind::Seq:
+      case Kind::Fire:
+        return out.seq(std::move(kids), node.size, node.label);
+      default:
+        NDF_CHECK(false);
+        return kNoNode;
+    }
+  };
+  out.set_root(copy(copy, tree.root()));
+  return out;
+}
+
+}  // namespace ndf

@@ -1,0 +1,17 @@
+// The serial elision of the fire construct as a source-to-source
+// transform: produces a new spawn tree in which every fire node is a "; "
+// node (the paper's NP versions of the ND algorithms, Sec. 3). Elaborating
+// the lowered tree equals elaborating the original with np_mode — both
+// paths exist so the equivalence itself is testable, and so NP trees can
+// be fed to tools that inspect tree structure (DOT export, decomposition).
+#pragma once
+
+#include "nd/spawn_tree.hpp"
+
+namespace ndf {
+
+/// Deep-copies `tree`, replacing every Fire node with a Seq node. Strand
+/// bodies and footprints are shared (copied std::function / segments).
+SpawnTree lower_to_np(const SpawnTree& tree);
+
+}  // namespace ndf

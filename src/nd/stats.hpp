@@ -1,0 +1,31 @@
+// Structural statistics of elaborated algorithm DAGs: counts, work/span/
+// parallelism, and a level-synchronous parallelism profile (how many
+// strands are simultaneously available at each dependence depth) — the
+// quantity that visualizes why the ND elaboration of TRS/LCS keeps
+// processors busy while the NP elaboration starves them.
+#pragma once
+
+#include <vector>
+
+#include "nd/graph.hpp"
+
+namespace ndf {
+
+struct DagStats {
+  std::size_t strands = 0;
+  std::size_t edges = 0;
+  double work = 0.0;
+  double span = 0.0;
+  double parallelism = 0.0;  ///< T1 / T∞
+  std::size_t depth_levels = 0;       ///< dependence-depth levels (strands)
+  std::size_t max_level_width = 0;    ///< widest level (strand count)
+  double avg_level_width = 0.0;
+};
+
+DagStats compute_stats(const StrandGraph& g);
+
+/// Strands per dependence-depth level (level = longest strand-edge path
+/// from a source). The histogram's shape is the wavefront profile.
+std::vector<std::size_t> parallelism_profile(const StrandGraph& g);
+
+}  // namespace ndf

@@ -1,0 +1,49 @@
+#include "nd/validate.hpp"
+
+namespace ndf {
+
+std::vector<RuleIssue> validate_rules(const FireRules& rules) {
+  std::vector<RuleIssue> issues;
+  const FireType n = static_cast<FireType>(rules.num_types());
+
+  // Edges of the "no-progress" graph: type a -> type b when a has a rule
+  // with both pedigrees empty rewriting to b (the DRS revisits the same
+  // node pair under type b).
+  std::vector<std::vector<FireType>> stay(n);
+  for (FireType t = FireRules::kEmpty + 1; t < n; ++t) {
+    for (const FireRule& r : rules.rules(t)) {
+      if (!rules.valid(r.inner)) {
+        issues.push_back({t, "rule references unknown inner type"});
+        continue;
+      }
+      if (r.src.empty() && r.dst.empty()) {
+        if (r.inner == t) {
+          issues.push_back({t, "non-productive self rule (+ T -)"});
+          continue;
+        }
+        stay[t].push_back(r.inner);
+      }
+    }
+  }
+
+  // Cycle detection over the no-progress graph (DFS, three colors).
+  std::vector<int> color(n, 0);
+  std::vector<FireType> stack;
+  auto dfs = [&](auto&& self, FireType u) -> bool {
+    color[u] = 1;
+    for (FireType v : stay[u]) {
+      if (color[v] == 1) return true;
+      if (color[v] == 0 && self(self, v)) return true;
+    }
+    color[u] = 2;
+    return false;
+  };
+  for (FireType t = 0; t < n; ++t)
+    if (color[t] == 0 && dfs(dfs, t))
+      issues.push_back(
+          {t, "cycle of empty-pedigree rules (rewriting cannot terminate)"});
+
+  return issues;
+}
+
+}  // namespace ndf

@@ -1,0 +1,27 @@
+// Static validation of fire-rule tables, independent of any particular
+// spawn tree: catches the classes of table bugs we hit while transcribing
+// the paper (non-productive rules that spin forever, dangling type
+// references, and types unreachable from any program construct).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nd/fire.hpp"
+
+namespace ndf {
+
+struct RuleIssue {
+  FireType type;
+  std::string message;
+};
+
+/// Checks every registered type's table:
+///  * rule pedigrees are well formed (indices >= 1 — enforced at build) and
+///    every referenced inner type exists;
+///  * productivity: a rule with two empty pedigrees must change type, and
+///    the type-change graph of such rules must be acyclic (otherwise the
+///    DRS would rewrite forever between the same two nodes).
+std::vector<RuleIssue> validate_rules(const FireRules& rules);
+
+}  // namespace ndf

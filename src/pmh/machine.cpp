@@ -1,0 +1,64 @@
+#include "pmh/machine.hpp"
+
+#include <sstream>
+
+namespace ndf {
+
+PmhConfig PmhConfig::flat(std::size_t p, double M1, double cmiss) {
+  PmhConfig cfg;
+  cfg.levels.push_back(LevelSpec{M1, 1, cmiss});  // one processor per cache
+  cfg.root_fanout = p;
+  return cfg;
+}
+
+PmhConfig PmhConfig::two_tier(std::size_t sockets, std::size_t cores,
+                              double M1, double M2, double c1, double c2) {
+  PmhConfig cfg;
+  cfg.levels.push_back(LevelSpec{M1, 1, c1});      // one processor per L1
+  cfg.levels.push_back(LevelSpec{M2, cores, c2});  // cores L1s per socket
+  cfg.root_fanout = sockets;
+  return cfg;
+}
+
+Pmh::Pmh(PmhConfig cfg) : cfg_(std::move(cfg)) {
+  NDF_CHECK_MSG(!cfg_.levels.empty(), "PMH needs at least one cache level");
+  const std::size_t h = cfg_.levels.size();
+  caches_.assign(h, 0);
+  procs_per_.assign(h, 0);
+  // Count caches top-down, processors-per-cache bottom-up.
+  std::size_t count = cfg_.root_fanout;
+  for (std::size_t lvl = h; lvl >= 1; --lvl) {
+    caches_[lvl - 1] = count;
+    count *= cfg_.levels[lvl - 1].fanout;
+    NDF_CHECK(cfg_.levels[lvl - 1].fanout >= 1);
+    NDF_CHECK(cfg_.levels[lvl - 1].size > 0.0);
+    if (lvl >= 2)
+      NDF_CHECK_MSG(cfg_.levels[lvl - 1].size >= cfg_.levels[lvl - 2].size,
+                    "cache sizes must be non-decreasing with level");
+  }
+  procs_ = count;
+  std::size_t per = 1;
+  for (std::size_t lvl = 1; lvl <= h; ++lvl) {
+    per *= cfg_.levels[lvl - 1].fanout;
+    procs_per_[lvl - 1] = per;
+  }
+}
+
+std::size_t Pmh::lca_level(std::size_t a, std::size_t b) const {
+  if (a == b) return 0;
+  for (std::size_t lvl = 1; lvl <= num_cache_levels(); ++lvl)
+    if (cache_above(a, lvl) == cache_above(b, lvl)) return lvl;
+  return num_cache_levels() + 1;  // only memory is shared
+}
+
+std::string Pmh::to_string() const {
+  std::ostringstream os;
+  os << "PMH[p=" << procs_;
+  for (std::size_t lvl = 1; lvl <= num_cache_levels(); ++lvl)
+    os << ", L" << lvl << ": " << num_caches(lvl) << "x M=" << cache_size(lvl)
+       << " C=" << miss_cost(lvl);
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ndf

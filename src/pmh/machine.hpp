@@ -1,0 +1,95 @@
+// Parallel Memory Hierarchy machine model (Sec. 4, Fig. 2, after Alpern et
+// al. [4,5]): a symmetric tree rooted at an infinite memory; internal nodes
+// are caches, leaves are processors. Every level-i cache has size Mi, the
+// same fan-out, and miss cost Ci (cost of servicing a level-i miss from
+// level i+1; a fetch that must come from level j costs C'j = ΣC below j).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ndf {
+
+/// One cache level of the hierarchy.
+struct LevelSpec {
+  double size = 0.0;       ///< Mi, in words
+  std::size_t fanout = 1;  ///< children per level-i cache (level i-1 nodes)
+  double miss_cost = 1.0;  ///< Ci: cost of a miss in this cache, serviced by
+                           ///< the next level up (cache or memory)
+};
+
+/// PMH description. levels[0] is level 1 (just above the processors);
+/// levels.back() is level h-1 (just below memory); `root_fanout` is the
+/// number of level-(h-1) caches attached to memory.
+struct PmhConfig {
+  std::vector<LevelSpec> levels;
+  std::size_t root_fanout = 1;
+
+  /// Two-level machine: p processors, each under its own size-M1 cache,
+  /// below memory; a miss costs cmiss.
+  static PmhConfig flat(std::size_t p, double M1, double cmiss);
+
+  /// Three-level machine resembling a multi-socket multicore: `sockets`
+  /// L2-like caches of size M2 (miss to memory costs c2), each with `cores`
+  /// single-processor L1-like caches of size M1 (miss to L2 costs c1).
+  static PmhConfig two_tier(std::size_t sockets, std::size_t cores, double M1,
+                            double M2, double c1, double c2);
+};
+
+/// Index arithmetic over the symmetric cache tree. Cache levels are
+/// numbered 1..h-1; processors sit below level 1; "level h" denotes memory.
+class Pmh {
+ public:
+  explicit Pmh(PmhConfig cfg);
+
+  const PmhConfig& config() const { return cfg_; }
+
+  std::size_t num_cache_levels() const { return cfg_.levels.size(); }
+  std::size_t num_processors() const { return procs_; }
+
+  double cache_size(std::size_t level) const {
+    return cfg_.levels[check_level(level)].size;
+  }
+  /// Ci: cost of a miss in a level-`level` cache.
+  double miss_cost(std::size_t level) const {
+    return cfg_.levels[check_level(level)].miss_cost;
+  }
+  /// Children per level-`level` cache (processors for level 1).
+  std::size_t fanout(std::size_t level) const {
+    return cfg_.levels[check_level(level)].fanout;
+  }
+  std::size_t num_caches(std::size_t level) const {
+    return caches_[check_level(level)];
+  }
+  /// Number of processors in the subtree of one level-`level` cache.
+  std::size_t procs_per_cache(std::size_t level) const {
+    return procs_per_[check_level(level)];
+  }
+  /// Index of the level-`level` cache above processor `p`.
+  std::size_t cache_above(std::size_t proc, std::size_t level) const {
+    NDF_DCHECK(proc < procs_);
+    return proc / procs_per_cache(level);
+  }
+  /// Lowest common cache level of two processors (h = memory if they share
+  /// nothing below the root).
+  std::size_t lca_level(std::size_t a, std::size_t b) const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t check_level(std::size_t level) const {
+    NDF_CHECK_MSG(level >= 1 && level <= cfg_.levels.size(),
+                  "bad cache level " << level);
+    return level - 1;
+  }
+
+  PmhConfig cfg_;
+  std::size_t procs_ = 0;
+  std::vector<std::size_t> caches_;     ///< caches per level
+  std::vector<std::size_t> procs_per_;  ///< processors per cache, per level
+};
+
+}  // namespace ndf

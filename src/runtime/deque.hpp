@@ -1,0 +1,91 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; memory-order
+// treatment after Lê et al., PPoPP'13), specialized to int32 job ids with a
+// fixed capacity chosen at construction (the executor knows the total job
+// count up front, so no dynamic growth is needed).
+//
+// The owner pushes and pops at the bottom; thieves steal from the top.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ndf {
+
+class WsDeque {
+ public:
+  static constexpr std::int32_t kEmpty = -1;
+  static constexpr std::int32_t kAbort = -2;
+
+  explicit WsDeque(std::size_t capacity) {
+    std::size_t cap = 64;
+    while (cap < capacity + 1) cap <<= 1;
+    buf_ = std::vector<std::atomic<std::int32_t>>(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Owner only.
+  void push(std::int32_t job) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    NDF_CHECK_MSG(b - t < static_cast<std::int64_t>(mask_),
+                  "work-stealing deque overflow");
+    buf_[static_cast<std::size_t>(b) & mask_].store(
+        job, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Returns kEmpty when drained.
+  std::int32_t pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return kEmpty;
+    }
+    std::int32_t job =
+        buf_[static_cast<std::size_t>(b) & mask_].load(
+            std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race against thieves.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed))
+        job = kEmpty;
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return job;
+  }
+
+  /// Any thread. Returns kEmpty or kAbort (lost a race; retry elsewhere).
+  std::int32_t steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return kEmpty;
+    const std::int32_t job =
+        buf_[static_cast<std::size_t>(t) & mask_].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return kAbort;
+    return job;
+  }
+
+  bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::vector<std::atomic<std::int32_t>> buf_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace ndf

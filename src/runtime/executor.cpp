@@ -1,0 +1,162 @@
+#include "runtime/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "runtime/deque.hpp"
+#include "support/rng.hpp"
+
+namespace ndf {
+
+namespace {
+
+class Pool {
+ public:
+  Pool(const StrandGraph& g, std::size_t num_threads)
+      : g_(g), tree_(g.tree()), nthreads_(num_threads) {
+    const std::size_t V = g_.num_vertices();
+    counts_ = std::vector<std::atomic<std::uint32_t>>(V);
+    for (VertexId v = 0; v < V; ++v)
+      counts_[v].store(g_.in_degree(v), std::memory_order_relaxed);
+    for (NodeId n = 0; n < tree_.num_nodes(); ++n)
+      if (tree_.node(n).kind == Kind::Strand &&
+          tree_.in_subtree(n, tree_.root()))
+        ++total_;
+    for (std::size_t i = 0; i < nthreads_; ++i)
+      deques_.emplace_back(total_ + 1);
+  }
+
+  ExecReport run() {
+    // Seed: fire every vertex whose in-degree is already zero, exactly
+    // once. Control vertices cascade; strand enters become initial jobs
+    // (strands that become ready during the cascade are pushed by
+    // propagate() itself — no second scan, or they would run twice).
+    seed_cursor_ = 0;
+    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+      // Static zero in-degree only: vertices that reach zero during the
+      // cascade are handled (once) inside propagate().
+      if (g_.in_degree(v) != 0) continue;
+      if (is_strand_enter(v))
+        push_job(static_cast<std::int32_t>(g_.owner(v)),
+                 seed_cursor_++ % nthreads_);
+      else
+        propagate(v, seed_cursor_++ % nthreads_);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads_);
+    for (std::size_t i = 1; i < nthreads_; ++i)
+      threads.emplace_back([this, i] { worker(i); });
+    worker(0);
+    for (auto& th : threads) th.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    NDF_CHECK_MSG(done_.load() == total_,
+                  "executor finished with " << done_.load() << " of "
+                                            << total_ << " strands run");
+    ExecReport r;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.strands = total_;
+    r.steals = steals_.load();
+    return r;
+  }
+
+ private:
+  bool is_strand_enter(VertexId v) const {
+    return !g_.is_exit(v) && tree_.node(g_.owner(v)).kind == Kind::Strand;
+  }
+
+  void push_job(std::int32_t node, std::size_t worker_ix) {
+    deques_[worker_ix].push(node);
+  }
+
+  /// Fires vertex v (whose count reached zero): decrements successors,
+  /// recursing through control vertices; ready strands are pushed onto the
+  /// calling worker's deque.
+  void propagate(VertexId start, std::size_t worker_ix) {
+    std::vector<VertexId> stack{start};
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId w : g_.successors(v)) {
+        if (counts_[w].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          if (is_strand_enter(w))
+            push_job(static_cast<std::int32_t>(g_.owner(w)), worker_ix);
+          else
+            stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  void run_strand(NodeId n, std::size_t worker_ix) {
+    const SpawnNode& node = tree_.node(n);
+    if (node.body) node.body();
+    // enter(n) fired at push time; its only successor is exit(n).
+    propagate(g_.enter(n), worker_ix);
+    done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void worker(std::size_t ix) {
+    Rng rng(0x9E3779B97F4A7C15ULL ^ ix);
+    std::size_t backoff = 0;
+    while (done_.load(std::memory_order_acquire) < total_) {
+      std::int32_t job = deques_[ix].pop();
+      if (job < 0 && nthreads_ > 1) {
+        const std::size_t victim = rng.below(nthreads_);
+        if (victim != ix) {
+          job = deques_[victim].steal();
+          if (job >= 0) steals_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (job >= 0) {
+        backoff = 0;
+        run_strand(static_cast<NodeId>(job), ix);
+      } else if (++backoff > 64) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  const StrandGraph& g_;
+  const SpawnTree& tree_;
+  std::size_t nthreads_;
+  std::size_t total_ = 0;
+  std::size_t seed_cursor_ = 0;
+  std::vector<std::atomic<std::uint32_t>> counts_;
+  std::deque<WsDeque> deques_;  // WsDeque is not movable (atomics)
+  std::atomic<std::size_t> done_{0};
+  std::atomic<std::size_t> steals_{0};
+};
+
+}  // namespace
+
+ExecReport execute_parallel(const StrandGraph& g, std::size_t num_threads) {
+  NDF_CHECK(num_threads >= 1);
+  Pool pool(g, num_threads);
+  return pool.run();
+}
+
+ExecReport execute_serial(const StrandGraph& g) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t strands = 0;
+  for (VertexId v : g.topological_order()) {
+    if (g.is_exit(v)) continue;
+    const SpawnNode& n = g.tree().node(g.owner(v));
+    if (n.kind == Kind::Strand) {
+      if (n.body) n.body();
+      ++strands;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  ExecReport r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.strands = strands;
+  return r;
+}
+
+}  // namespace ndf

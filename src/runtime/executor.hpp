@@ -1,0 +1,30 @@
+// Real-thread executor for elaborated ND programs — the runtime prototype:
+// a Cilk/TBB-style work-stealing pool whose tasks are the strands of the
+// algorithm DAG and whose dependencies are the DAG's edges, tracked with
+// atomic join counters. A strand becomes stealable work the moment its last
+// incoming dataflow arrow is satisfied, which is precisely the fire
+// construct's "create sink tasks as partial dependencies are met" execution
+// policy (Sec. 5 discussion).
+#pragma once
+
+#include <cstddef>
+
+#include "nd/graph.hpp"
+
+namespace ndf {
+
+struct ExecReport {
+  double seconds = 0.0;
+  std::size_t strands = 0;
+  std::size_t steals = 0;
+};
+
+/// Runs every strand body in `g` on `num_threads` workers, respecting the
+/// DAG's dependencies. Strands without bodies are treated as no-ops.
+ExecReport execute_parallel(const StrandGraph& g, std::size_t num_threads);
+
+/// Runs every strand body once, serially, in a topological order of the
+/// DAG. Used as the determinism baseline in tests.
+ExecReport execute_serial(const StrandGraph& g);
+
+}  // namespace ndf

@@ -1,0 +1,67 @@
+// Space-bounded scheduler for ND programs on a PMH (Sec. 4), simulated by
+// discrete events over the elaborated strand DAG.
+//
+// Faithful elements:
+//  * Anchoring: a σMi-maximal task is anchored to a level-i cache below its
+//    parent task's anchor, only once it is FULLY READY (every dataflow
+//    arrow entering its subtree from outside is satisfied) — this is where
+//    the ND model's extra parallelism shows up, because partial
+//    dependencies make subtasks ready earlier than the NP serial elision.
+//  * Boundedness: the sum of sizes of tasks anchored to a cache of size M
+//    never exceeds σM (capacity reservation for the task's lifetime).
+//  * Allocation: a task of size S anchored at level i leases
+//    gi(S) = min{fi, max{1, ⌊fi·(3S/Mi)^α'⌋}} free level-(i-1) subclusters
+//    of its anchor; its subtasks may only anchor on leased subclusters.
+//  * Miss accounting: anchoring a task of size s at level i loads its
+//    footprint once — s misses at level i (this is exactly the Theorem 1 /
+//    Q*(t;σMi) accounting); the latency s·Ci is spread uniformly over the
+//    task's serial execution units so that it parallelizes the way the
+//    Eq. (22) bound assumes.
+//
+// Simplifications (documented in DESIGN.md): σM1-maximal tasks are atomic
+// serial units (the paper executes them depth-first on one processor
+// anyway); an idle processor takes work from the nearest ancestor anchor
+// with a non-empty queue rather than via per-anchor task queues with
+// worst-case provisioning.
+#pragma once
+
+#include <vector>
+
+#include "analysis/decompose.hpp"
+#include "nd/graph.hpp"
+#include "pmh/machine.hpp"
+#include "sched/trace.hpp"
+
+namespace ndf {
+
+struct SbOptions {
+  double sigma = 1.0 / 3.0;  ///< dilation parameter (boundedness)
+  double alpha_prime = 1.0;  ///< allocation exponent α' = min{αmax, 1}
+  bool charge_misses = true; ///< include miss latency in strand durations
+  Trace* trace = nullptr;    ///< optional per-unit execution trace sink
+};
+
+struct SbStats {
+  double makespan = 0.0;
+  double total_work = 0.0;
+  /// misses[i] = total misses in all level-(i+1) caches (i in 0..h-2).
+  std::vector<double> misses;
+  /// Total miss latency charged (Σ_level misses·C).
+  double miss_cost = 0.0;
+  std::size_t atomic_units = 0;
+  std::size_t anchors = 0;
+  /// Average processor utilization: total busy time / (p · makespan).
+  double utilization = 0.0;
+};
+
+/// Runs the space-bounded scheduler on the elaborated graph `g` (ND or NP
+/// elaboration) over `machine`. The spawn tree must carry size annotations.
+SbStats run_sb_scheduler(const StrandGraph& g, const Pmh& machine,
+                         const SbOptions& opts = {});
+
+/// The perfectly-load-balanced reference of Eq. (22) plus work:
+/// (T1 + Σi Q*(t;σMi)·Ci) / p.
+double sb_balanced_bound(const SpawnTree& tree, const Pmh& machine,
+                         double sigma = 1.0 / 3.0);
+
+}  // namespace ndf

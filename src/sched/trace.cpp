@@ -1,0 +1,59 @@
+#include "sched/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ndf {
+
+std::vector<double> utilization_timeline(const Trace& trace,
+                                         std::size_t num_procs,
+                                         double makespan,
+                                         std::size_t buckets) {
+  NDF_CHECK(num_procs > 0 && buckets > 0 && makespan > 0);
+  std::vector<double> busy(buckets, 0.0);
+  const double w = makespan / double(buckets);
+  for (const TraceEvent& e : trace) {
+    const double lo = std::max(0.0, e.start);
+    const double hi = std::min(makespan, e.end);
+    if (hi <= lo) continue;
+    const std::size_t b0 = std::min(buckets - 1, std::size_t(lo / w));
+    const std::size_t b1 = std::min(buckets - 1, std::size_t(hi / w));
+    for (std::size_t b = b0; b <= b1; ++b) {
+      const double s = std::max(lo, double(b) * w);
+      const double t = std::min(hi, double(b + 1) * w);
+      if (t > s) busy[b] += t - s;
+    }
+  }
+  for (double& x : busy) x /= w * double(num_procs);
+  return busy;
+}
+
+bool validate_trace(const Trace& trace, std::size_t num_procs,
+                    std::string* msg) {
+  std::vector<std::vector<std::pair<double, double>>> per_proc(num_procs);
+  for (const TraceEvent& e : trace) {
+    if (e.proc >= num_procs || e.end < e.start) {
+      if (msg) *msg = "malformed trace event";
+      return false;
+    }
+    per_proc[e.proc].push_back({e.start, e.end});
+  }
+  for (std::size_t p = 0; p < num_procs; ++p) {
+    auto& iv = per_proc[p];
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t i = 1; i < iv.size(); ++i)
+      if (iv[i].first < iv[i - 1].second - 1e-9) {
+        if (msg) {
+          std::ostringstream os;
+          os << "processor " << p << " overlaps at t=" << iv[i].first;
+          *msg = os.str();
+        }
+        return false;
+      }
+  }
+  return true;
+}
+
+}  // namespace ndf

@@ -1,0 +1,35 @@
+// Execution traces from the scheduler simulators: one record per atomic
+// unit execution, plus helpers to turn a trace into a utilization timeline
+// (the "how busy was the machine over time" curve that makes the ND-vs-NP
+// load-balance difference visible).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nd/spawn_tree.hpp"
+
+namespace ndf {
+
+struct TraceEvent {
+  double start = 0.0;
+  double end = 0.0;
+  std::uint32_t proc = 0;
+  NodeId unit_root = kNoNode;
+};
+
+using Trace = std::vector<TraceEvent>;
+
+/// Fraction of processors busy in each of `buckets` equal slices of
+/// [0, makespan). Events outside the range are clipped.
+std::vector<double> utilization_timeline(const Trace& trace,
+                                         std::size_t num_procs,
+                                         double makespan,
+                                         std::size_t buckets);
+
+/// Validates a trace: no processor runs two units at once, all times are
+/// ordered. Returns false (and sets *msg) on violation.
+bool validate_trace(const Trace& trace, std::size_t num_procs,
+                    std::string* msg);
+
+}  // namespace ndf

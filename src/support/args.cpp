@@ -1,0 +1,57 @@
+#include "support/args.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace ndf {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    NDF_CHECK_MSG(a.rfind("--", 0) == 0,
+                  "unexpected positional argument '" << a << "'");
+    const auto eq = a.find('=');
+    if (eq == std::string::npos)
+      kv_[a.substr(2)] = "true";
+    else
+      kv_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+  }
+}
+
+bool Args::has(const std::string& name) const { return kv_.count(name) > 0; }
+
+std::string Args::get(const std::string& name, const std::string& dflt) const {
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? dflt : it->second;
+}
+
+long long Args::get(const std::string& name, long long dflt) const {
+  const auto it = kv_.find(name);
+  if (it == kv_.end()) return dflt;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  NDF_CHECK_MSG(end && *end == '\0',
+                "flag --" << name << " is not an integer: " << it->second);
+  return v;
+}
+
+double Args::get(const std::string& name, double dflt) const {
+  const auto it = kv_.find(name);
+  if (it == kv_.end()) return dflt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  NDF_CHECK_MSG(end && *end == '\0',
+                "flag --" << name << " is not a number: " << it->second);
+  return v;
+}
+
+bool Args::get(const std::string& name, bool dflt) const {
+  const auto it = kv_.find(name);
+  if (it == kv_.end()) return dflt;
+  NDF_CHECK_MSG(it->second == "true" || it->second == "false",
+                "flag --" << name << " is not a boolean: " << it->second);
+  return it->second == "true";
+}
+
+}  // namespace ndf

@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing for the bench and example binaries:
+// `--name=value` or `--flag` booleans; everything else is rejected so a
+// typo'd sweep parameter fails loudly instead of silently benchmarking the
+// default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ndf {
+
+class Args {
+ public:
+  /// Parses argv; throws CheckError on malformed arguments.
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& dflt) const;
+  long long get(const std::string& name, long long dflt) const;
+  double get(const std::string& name, double dflt) const;
+  bool get(const std::string& name, bool dflt) const;
+
+  /// Names that were parsed but never queried — callers can warn on these.
+  std::size_t size() const { return kv_.size(); }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace ndf

@@ -1,0 +1,50 @@
+// Lightweight runtime checking for library invariants.
+//
+// NDF_CHECK is always on (it guards API misuse and structural invariants the
+// rest of the library relies on); NDF_DCHECK compiles out in release builds
+// and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ndf {
+
+/// Thrown when a library invariant or API precondition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NDF_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ndf
+
+#define NDF_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::ndf::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define NDF_CHECK_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::ostringstream ndf_os_;                                \
+      ndf_os_ << msg;                                            \
+      ::ndf::detail::check_fail(#expr, __FILE__, __LINE__, ndf_os_.str()); \
+    }                                                            \
+  } while (0)
+
+#ifdef NDEBUG
+#define NDF_DCHECK(expr) ((void)0)
+#else
+#define NDF_DCHECK(expr) NDF_CHECK(expr)
+#endif

@@ -1,0 +1,59 @@
+#include "support/fit.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace ndf {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  NDF_CHECK(xs.size() == ys.size());
+  NDF_CHECK(xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  NDF_CHECK_MSG(denom != 0.0, "degenerate x values in fit");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+
+  const double ybar = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = f.slope * xs[i] + f.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ybar) * (ys[i] - ybar);
+  }
+  f.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+LinearFit fit_loglog(std::span<const double> xs, std::span<const double> ys) {
+  NDF_CHECK(xs.size() == ys.size());
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    NDF_CHECK_MSG(xs[i] > 0 && ys[i] > 0, "log-log fit needs positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+std::vector<double> ratio(std::span<const double> ys,
+                          std::span<const double> xs) {
+  NDF_CHECK(xs.size() == ys.size());
+  std::vector<double> r(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    NDF_CHECK(xs[i] != 0.0);
+    r[i] = ys[i] / xs[i];
+  }
+  return r;
+}
+
+}  // namespace ndf

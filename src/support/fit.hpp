@@ -1,0 +1,28 @@
+// Least-squares fitting helpers used by the benchmark harness to check
+// asymptotic shapes (e.g. that a measured span series grows like n, not
+// n log n): we fit log y = a·log x + b and report the exponent a.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ndf {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y ≈ slope·x + intercept. Requires xs.size() ==
+/// ys.size() >= 2.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits y ≈ C·x^slope by OLS in log-log space. All values must be > 0.
+LinearFit fit_loglog(std::span<const double> xs, std::span<const double> ys);
+
+/// Ratio series y_i / x_i, handy for "is this bounded by a constant" checks.
+std::vector<double> ratio(std::span<const double> ys,
+                          std::span<const double> xs);
+
+}  // namespace ndf

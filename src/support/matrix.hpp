@@ -1,0 +1,103 @@
+// Dense row-major matrix container plus non-owning block views.
+//
+// The divide-and-conquer algorithms in src/algos operate on quadrant views
+// (A00, A01, ...) of a shared backing matrix, mirroring the in-place block
+// decompositions in the paper (Eq. 2, Fig. 7, Fig. 9).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ndf {
+
+template <typename T>
+class MatrixView;
+
+/// Owning dense row-major matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    NDF_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    NDF_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// View of the whole matrix.
+  MatrixView<T> view() {
+    return MatrixView<T>(data_.data(), rows_, cols_, cols_);
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Non-owning view of a rectangular block of a row-major matrix.
+///
+/// Views are cheap to copy and support recursive quadrant splitting via
+/// block(). The caller is responsible for keeping the backing storage alive.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    NDF_DCHECK(cols <= stride);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  T* data() const { return data_; }
+
+  T& operator()(std::size_t r, std::size_t c) const {
+    NDF_DCHECK(r < rows_ && c < cols_);
+    return data_[r * stride_ + c];
+  }
+
+  /// Sub-block of extent (h, w) with top-left corner (r0, c0).
+  MatrixView block(std::size_t r0, std::size_t c0, std::size_t h,
+                   std::size_t w) const {
+    NDF_CHECK_MSG(r0 + h <= rows_ && c0 + w <= cols_,
+                  "block (" << r0 << "," << c0 << ")+" << h << "x" << w
+                            << " out of " << rows_ << "x" << cols_);
+    return MatrixView(data_ + r0 * stride_ + c0, h, w, stride_);
+  }
+
+  /// Quadrant helpers for even-sized square splits; q in {00,01,10,11}
+  /// indexed by (row half, col half).
+  MatrixView quadrant(int rhalf, int chalf) const {
+    NDF_DCHECK(rows_ % 2 == 0 && cols_ % 2 == 0);
+    const std::size_t hr = rows_ / 2, hc = cols_ / 2;
+    return block(rhalf ? hr : 0, chalf ? hc : 0, hr, hc);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace ndf

@@ -1,0 +1,34 @@
+#include "support/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ndf {
+
+Summary summarize(std::span<const double> xs) {
+  NDF_CHECK_MSG(!xs.empty(), "summarize() needs a non-empty sample");
+  Summary s;
+  s.count = xs.size();
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[sorted.size() / 2]
+                 : 0.5 * (sorted[sorted.size() / 2 - 1] +
+                          sorted[sorted.size() / 2]);
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / double(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (double x : sorted) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / double(s.count - 1));
+  }
+  return s;
+}
+
+}  // namespace ndf

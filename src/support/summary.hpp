@@ -1,0 +1,21 @@
+// Summary statistics over small samples (bench repetitions, per-unit
+// durations): mean, median, min/max, standard deviation.
+#pragma once
+
+#include <span>
+
+namespace ndf {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+};
+
+/// Computes summary statistics; requires a non-empty sample.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace ndf

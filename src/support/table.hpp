@@ -1,0 +1,37 @@
+// Console table printer used by the benchmark harness so every experiment
+// prints the same aligned rows/series the paper's claims describe.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ndf {
+
+/// A table cell: string, integer or double (doubles printed with %.4g).
+using Cell = std::variant<std::string, long long, double>;
+
+/// Column-aligned text table with an optional title.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<Cell> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with padded columns; also usable as CSV via to_csv().
+  std::string to_string() const;
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace ndf

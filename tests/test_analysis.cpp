@@ -1,0 +1,155 @@
+// Tests for M-maximal decomposition, parallel cache complexity Q*, the
+// effective cache complexity Q̂α, and parallelizability estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/lcs.hpp"
+#include "algos/matmul.hpp"
+#include "algos/trs.hpp"
+#include "analysis/decompose.hpp"
+#include "analysis/ecc.hpp"
+#include "analysis/pcc.hpp"
+#include "nd/drs.hpp"
+
+namespace ndf {
+namespace {
+
+TEST(Decompose, CutsAtSizeThreshold) {
+  SpawnTree t;
+  NodeId a = t.strand(1.0, 4.0);
+  NodeId b = t.strand(1.0, 4.0);
+  NodeId c = t.strand(1.0, 4.0);
+  NodeId p = t.par({a, b}, 8.0);
+  NodeId root = t.seq({p, c}, 12.0);
+  t.set_root(root);
+
+  // M = 9: p (size 8) and c (size 4) are maximal; root is glue.
+  Decomposition d = decompose(t, 9.0);
+  ASSERT_EQ(d.maximal.size(), 2u);
+  EXPECT_EQ(d.maximal[0], p);
+  EXPECT_EQ(d.maximal[1], c);
+  EXPECT_EQ(d.glue.size(), 1u);
+  EXPECT_TRUE(d.is_glue(root));
+  EXPECT_EQ(d.owner[a], 0);
+  EXPECT_EQ(d.owner[b], 0);
+  EXPECT_EQ(d.owner[c], 1);
+
+  // M large: the root itself is maximal.
+  Decomposition dall = decompose(t, 100.0);
+  ASSERT_EQ(dall.maximal.size(), 1u);
+  EXPECT_EQ(dall.maximal[0], root);
+  EXPECT_TRUE(dall.glue.empty());
+}
+
+TEST(Decompose, OversizedStrandBecomesMaximal) {
+  SpawnTree t;
+  NodeId a = t.strand(1.0, 50.0);  // bigger than M
+  NodeId b = t.strand(1.0, 2.0);
+  t.set_root(t.seq({a, b}, 52.0));
+  Decomposition d = decompose(t, 10.0);
+  ASSERT_EQ(d.maximal.size(), 2u);
+  EXPECT_EQ(d.maximal[0], a);
+}
+
+TEST(Pcc, SumsMaximalSizesPlusGlue) {
+  SpawnTree t;
+  NodeId a = t.strand(1.0, 4.0);
+  NodeId b = t.strand(1.0, 4.0);
+  t.set_root(t.seq({a, b}, 12.0));
+  // M=5: two maximal strands (4+4) + 1 glue node.
+  EXPECT_DOUBLE_EQ(parallel_cache_complexity(t, 5.0), 8.0 + kGlueCost);
+  // M=12: the root is maximal.
+  EXPECT_DOUBLE_EQ(parallel_cache_complexity(t, 12.0), 12.0);
+}
+
+TEST(Pcc, MatmulScalesAsNCubedOverSqrtM) {
+  // Claim 1: Q*(N;M) = O(N^1.5/M^0.5) with N = n² (i.e. n³/√M).
+  const double M = 3 * 8 * 8;  // fits an 8×8 sub-multiply footprint
+  const double q16 = parallel_cache_complexity(make_mm_tree(16, 4), M);
+  const double q32 = parallel_cache_complexity(make_mm_tree(32, 4), M);
+  const double q64 = parallel_cache_complexity(make_mm_tree(64, 4), M);
+  EXPECT_NEAR(q32 / q16, 8.0, 1.0);  // n³ scaling at fixed M
+  EXPECT_NEAR(q64 / q32, 8.0, 1.0);
+  // At fixed n, quadrupling M should halve Q* (up to rounding of the cut).
+  const double qm = parallel_cache_complexity(make_mm_tree(64, 4), 4 * M);
+  EXPECT_NEAR(q64 / qm, 2.0, 0.6);
+}
+
+TEST(Pcc, LcsScalesAsNSquaredOverM) {
+  // Claim 1: LCS has Q*(n;M) = O(n²/M) under the linear-space footprint.
+  const double M = 64;
+  const double q256 = parallel_cache_complexity(make_lcs_tree(256, 4), M);
+  const double q512 = parallel_cache_complexity(make_lcs_tree(512, 4), M);
+  EXPECT_NEAR(q512 / q256, 4.0, 0.5);  // n² scaling
+  const double qm = parallel_cache_complexity(make_lcs_tree(512, 4), 2 * M);
+  EXPECT_NEAR(q512 / qm, 2.0, 0.5);  // 1/M scaling
+}
+
+TEST(Ecc, WorkDominatedAtAlphaZero) {
+  SpawnTree t = make_mm_tree(16, 4);
+  StrandGraph g = elaborate(t);
+  Decomposition d = decompose(t, 3.0 * 8 * 8);
+  const double q_star = parallel_cache_complexity(t, d);
+  EccResult r = effective_cache_complexity(t, g, d, 0.0);
+  // At α = 0 every task has effective depth ~ its Q*, and the work term is
+  // the whole Q*; ECC must be within a constant of Q*.
+  EXPECT_GE(r.q_hat, q_star - d.glue.size() * kGlueCost);
+  EXPECT_LE(r.q_hat, 2.0 * q_star);
+}
+
+TEST(Ecc, DepthTermGrowsWithAlpha) {
+  SpawnTree t = make_trs_tree(32, 4);
+  StrandGraph g = elaborate(t);
+  Decomposition d = decompose(t, 64.0);
+  const EccResult lo = effective_cache_complexity(t, g, d, 0.1);
+  const EccResult hi = effective_cache_complexity(t, g, d, 1.2);
+  // Normalized by s^α, the depth term can only become more dominant.
+  EXPECT_GE(hi.depth_term / std::max(1.0, hi.work_term),
+            lo.depth_term / std::max(1.0, lo.work_term));
+}
+
+TEST(Ecc, SerialChainIsDepthDominated) {
+  // A pure serial chain of equal strands: the chain term must dominate for
+  // any α > 0.
+  SpawnTree t;
+  std::vector<NodeId> ss;
+  for (int i = 0; i < 8; ++i) ss.push_back(t.strand(1.0, 4.0));
+  t.set_root(t.seq(std::move(ss), 32.0));
+  StrandGraph g = elaborate(t);
+  Decomposition d = decompose(t, 4.0);
+  EccResult r = effective_cache_complexity(t, g, d, 1.0);
+  EXPECT_DOUBLE_EQ(r.depth_term, 8.0);  // 8 tasks in a chain, ⌈4^0⌉ each
+  EXPECT_GE(r.effective_depth, r.work_term);
+}
+
+TEST(Parallelizability, NdTrsBeatsNpTrs) {
+  // Sec. 4: TRS loses parallelizability in the NP model; the ND model
+  // recovers it. Compare αmax estimated on the same spawn tree under the
+  // two elaborations.
+  SpawnTree t = make_trs_tree(64, 4);
+  StrandGraph nd = elaborate(t);
+  StrandGraph np = elaborate(t, {.np_mode = true});
+  Decomposition d = decompose(t, 96.0);
+  const double a_nd = parallelizability(t, nd, d, 2.0);
+  const double a_np = parallelizability(t, np, d, 2.0);
+  EXPECT_GE(a_nd, a_np);
+  EXPECT_GT(a_nd, 0.0);
+}
+
+TEST(MaximalDag, CondensationIsAcyclicAndConnectsChains) {
+  SpawnTree t;
+  NodeId a = t.strand(1.0, 4.0);
+  NodeId b = t.strand(1.0, 4.0);
+  NodeId c = t.strand(1.0, 4.0);
+  t.set_root(t.seq({a, b, c}, 12.0));
+  StrandGraph g = elaborate(t);
+  Decomposition d = decompose(t, 4.0);
+  MaximalDag m = build_maximal_dag(g, d);
+  EXPECT_EQ(m.num_maximal, 3u);
+  const double chain = m.longest_chain({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(chain, 3.0);
+}
+
+}  // namespace
+}  // namespace ndf

@@ -1,0 +1,44 @@
+// Tests for the invariant-checking layer itself.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace ndf {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(NDF_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(NDF_CHECK_MSG(true, "unused"));
+}
+
+TEST(Check, FailureCarriesExpressionAndLocation) {
+  try {
+    NDF_CHECK(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageFormattingStreamsValues) {
+  try {
+    const int n = 41;
+    NDF_CHECK_MSG(n == 42, "expected 42, got " << n);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 42, got 41"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, IsALogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(NDF_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ndf

@@ -1,0 +1,125 @@
+// Tests of the DAG Rewriting System: the paper's Fig. 3/4 running example,
+// fire-rule refinement, NP lowering, and work/span computation.
+#include <gtest/gtest.h>
+
+#include "algos/matmul.hpp"
+#include "nd/drs.hpp"
+
+namespace ndf {
+namespace {
+
+/// Builds the paper's MAIN example (Fig. 3/4): MAIN = F ~FG~> G with
+/// F = A ; B, G = C ; D, and fire rule +FG- = { +(1) ; -(1) } (A before C).
+struct MainExample {
+  SpawnTree t;
+  NodeId A, B, C, D, F, G, root;
+
+  explicit MainExample(double wa = 1, double wb = 1, double wc = 1,
+                       double wd = 1) {
+    const FireType fg = t.rules().add_type("FG");
+    t.rules().add_rule(fg, {1}, FireRules::kFull, {1});
+    A = t.strand(wa, 1.0, "A");
+    B = t.strand(wb, 1.0, "B");
+    C = t.strand(wc, 1.0, "C");
+    D = t.strand(wd, 1.0, "D");
+    F = t.seq({A, B}, 2.0, "F");
+    G = t.seq({C, D}, 2.0, "G");
+    root = t.fire(fg, F, G, 4.0, "MAIN");
+    t.set_root(root);
+  }
+};
+
+TEST(Drs, MainExampleSpanIsMaxOfTwoChains) {
+  // T∞ = max{A+B, A+C+D} (Sec. 2 work-span analysis of Fig. 3).
+  {
+    MainExample ex(1, 10, 1, 1);  // A+B = 11 dominates
+    EXPECT_DOUBLE_EQ(elaborate(ex.t).span(), 11.0);
+  }
+  {
+    MainExample ex(1, 1, 10, 10);  // A+C+D = 21 dominates
+    EXPECT_DOUBLE_EQ(elaborate(ex.t).span(), 21.0);
+  }
+  MainExample ex;
+  EXPECT_DOUBLE_EQ(elaborate(ex.t).work(), 4.0);
+}
+
+TEST(Drs, MainExampleNpLoweringSerializesFAndG) {
+  MainExample ex(1, 1, 1, 1);
+  EXPECT_DOUBLE_EQ(elaborate(ex.t, {.np_mode = true}).span(), 4.0);
+  EXPECT_DOUBLE_EQ(elaborate(ex.t).span(), 3.0);  // A;C;D
+}
+
+TEST(Drs, MainExampleEdgeSetIsExact) {
+  MainExample ex;
+  StrandGraph g = elaborate(ex.t);
+  // The fire rule adds exactly one task-level arrow A -> C, and the two
+  // seq nodes add A -> B and C -> D.
+  ASSERT_EQ(g.arrows().size(), 3u);
+  bool saw_ac = false;
+  for (const TaskArrow& a : g.arrows())
+    if (a.from == ex.A && a.to == ex.C) saw_ac = true;
+  EXPECT_TRUE(saw_ac);
+}
+
+TEST(Drs, EmptyFireTypeBehavesLikeParallel) {
+  SpawnTree t;
+  const FireType none = t.rules().add_type("NONE");  // no rules
+  NodeId a = t.strand(5.0, 1.0);
+  NodeId b = t.strand(7.0, 1.0);
+  t.set_root(t.fire(none, a, b, 2.0));
+  EXPECT_DOUBLE_EQ(elaborate(t).span(), 7.0);  // max, not sum
+}
+
+TEST(Drs, NamedTypeBetweenStrandsIsFullDependency) {
+  SpawnTree t;
+  const FireType ty = t.rules().add_type("T");
+  t.rules().add_rule(ty, {1}, ty, {1});
+  NodeId a = t.strand(5.0, 1.0);
+  NodeId b = t.strand(7.0, 1.0);
+  t.set_root(t.fire(ty, a, b, 2.0));
+  EXPECT_DOUBLE_EQ(elaborate(t).span(), 12.0);
+}
+
+TEST(Drs, SeqAndParComposeSpansClassically) {
+  SpawnTree t;
+  NodeId a = t.strand(2.0, 1.0);
+  NodeId b = t.strand(3.0, 1.0);
+  NodeId c = t.strand(4.0, 1.0);
+  t.set_root(t.seq({t.par({a, b}), c}, 3.0));
+  StrandGraph g = elaborate(t);
+  EXPECT_DOUBLE_EQ(g.work(), 9.0);
+  EXPECT_DOUBLE_EQ(g.span(), 7.0);  // max(2,3) + 4
+}
+
+TEST(Drs, MatmulWorkIsCubicAndGraphAcyclic) {
+  SpawnTree t = make_mm_tree(16, 4);
+  StrandGraph g = elaborate(t);
+  EXPECT_DOUBLE_EQ(g.work(), 2.0 * 16 * 16 * 16);
+  EXPECT_NO_THROW(g.topological_order());
+  // ND span below NP span, both at least the leaf critical path.
+  const double nd = g.span();
+  const double np = elaborate(t, {.np_mode = true}).span();
+  EXPECT_LE(nd, np);
+}
+
+TEST(Drs, MatmulNpSpanMatchesRecurrence) {
+  // NP MM: T(n) = 2T(n/2) + O(1) with T(base) = 2·base³, so span scales
+  // linearly in n/base.
+  SpawnTree t8 = make_mm_tree(8, 4);
+  SpawnTree t32 = make_mm_tree(32, 4);
+  const double s8 = elaborate(t8, {.np_mode = true}).span();
+  const double s32 = elaborate(t32, {.np_mode = true}).span();
+  EXPECT_NEAR(s32 / s8, 4.0, 0.5);  // doubling n twice doubles span twice
+}
+
+TEST(Drs, DetachedNodesAreIgnored) {
+  SpawnTree t;
+  NodeId a = t.strand(1.0, 1.0);
+  NodeId b = t.strand(2.0, 1.0);
+  t.strand(100.0, 1.0);  // never composed
+  t.set_root(t.seq({a, b}, 1.0));
+  EXPECT_DOUBLE_EQ(elaborate(t).work(), 3.0);
+}
+
+}  // namespace
+}  // namespace ndf

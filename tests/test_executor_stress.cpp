@@ -1,0 +1,134 @@
+// Stress tests of the real-thread executor: randomized seq/par/fire spawn
+// trees whose strands record execution counts and happens-before
+// timestamps; under heavy thread counts every strand must run exactly
+// once and every dependence edge must be respected.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "nd/drs.hpp"
+#include "runtime/executor.hpp"
+#include "support/rng.hpp"
+
+namespace ndf {
+namespace {
+
+struct Recorder {
+  std::atomic<std::uint64_t> clock{0};
+  // Per strand: execution count and (start, end) logical timestamps.
+  std::vector<std::atomic<int>> runs;
+  std::vector<std::uint64_t> start, end;
+
+  explicit Recorder(std::size_t n) : runs(n), start(n), end(n) {}
+};
+
+/// Builds a random tree of depth `depth`; returns node and registers
+/// strand indices in order.
+NodeId random_tree(SpawnTree& t, Rng& rng, Recorder& rec,
+                   std::vector<FireType>& types, int depth,
+                   std::size_t& next_strand) {
+  if (depth == 0 || rng.uniform() < 0.25) {
+    const std::size_t ix = next_strand++;
+    NDF_CHECK(ix < rec.runs.size());
+    Recorder* r = &rec;
+    return t.strand(1.0, 1.0, "s" + std::to_string(ix), [r, ix] {
+      r->start[ix] = r->clock.fetch_add(1);
+      r->runs[ix].fetch_add(1);
+      r->end[ix] = r->clock.fetch_add(1);
+    });
+  }
+  const double kind = rng.uniform();
+  NodeId a = random_tree(t, rng, rec, types, depth - 1, next_strand);
+  NodeId b = random_tree(t, rng, rec, types, depth - 1, next_strand);
+  if (kind < 0.35) return t.seq({a, b}, 2.0);
+  if (kind < 0.7) return t.par({a, b}, 2.0);
+  // Fire with a randomly chosen registered type.
+  return t.fire(types[rng.below(types.size())], a, b, 2.0);
+}
+
+struct StressCase {
+  std::uint64_t seed;
+  std::size_t threads;
+};
+
+class ExecutorStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(ExecutorStress, EveryStrandOnceAndOrdered) {
+  const auto [seed, threads] = GetParam();
+  Rng rng(seed);
+  SpawnTree t;
+  // A few fire types: one full-ish, one sparse, one empty.
+  std::vector<FireType> types;
+  const FireType full = t.rules().add_type("FULLISH");
+  t.rules().add_rule(full, {1}, FireRules::kFull, {1});
+  t.rules().add_rule(full, {2}, FireRules::kFull, {1});
+  t.rules().add_rule(full, {2}, FireRules::kFull, {2});
+  const FireType sparse = t.rules().add_type("SPARSE");
+  t.rules().add_rule(sparse, {1}, sparse, {1});
+  const FireType none = t.rules().add_type("NONE");
+  types = {full, sparse, none};
+
+  Recorder rec(1 << 12);
+  std::size_t next = 0;
+  t.set_root(random_tree(t, rng, rec, types, 9, next));
+  // Ensure the root is composite (random_tree may return a lone strand).
+  if (t.node(t.root()).kind == Kind::Strand) {
+    GTEST_SKIP() << "degenerate single-strand tree";
+  }
+
+  StrandGraph g = elaborate(t);
+  const ExecReport r = execute_parallel(g, threads);
+  EXPECT_EQ(r.strands, next);
+  for (std::size_t i = 0; i < next; ++i)
+    EXPECT_EQ(rec.runs[i].load(), 1) << "strand " << i;
+
+  // Happens-before: for every task-level arrow, all source-subtree strands
+  // end before any sink-subtree strand starts.
+  auto strand_ix = [&](NodeId n) {
+    return std::stoul(t.node(n).label.substr(1));
+  };
+  for (const TaskArrow& a : g.arrows()) {
+    std::uint64_t src_end = 0, dst_start = ~0ULL;
+    for (NodeId s : t.strands_under(a.from))
+      src_end = std::max(src_end, rec.end[strand_ix(s)]);
+    for (NodeId s : t.strands_under(a.to))
+      dst_start = std::min(dst_start, rec.start[strand_ix(s)]);
+    EXPECT_LT(src_end, dst_start)
+        << "arrow " << a.from << "->" << a.to << " violated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ExecutorStress,
+    ::testing::Values(StressCase{1, 2}, StressCase{2, 4}, StressCase{3, 4},
+                      StressCase{4, 8}, StressCase{5, 8}, StressCase{6, 3},
+                      StressCase{7, 4}, StressCase{8, 8}),
+    [](const ::testing::TestParamInfo<StressCase>& i) {
+      return "seed" + std::to_string(i.param.seed) + "t" +
+             std::to_string(i.param.threads);
+    });
+
+TEST(ExecutorStressExtra, RepeatedLargeParallelRuns) {
+  // A wide, shallow tree exercised repeatedly to shake out deque races.
+  for (int rep = 0; rep < 10; ++rep) {
+    SpawnTree t;
+    std::atomic<int> count{0};
+    std::vector<NodeId> leaves;
+    for (int i = 0; i < 512; ++i)
+      leaves.push_back(t.strand(1, 1, "", [&count] { count.fetch_add(1); }));
+    // Binary par tree.
+    while (leaves.size() > 1) {
+      std::vector<NodeId> next_lvl;
+      for (std::size_t i = 0; i + 1 < leaves.size(); i += 2)
+        next_lvl.push_back(t.par({leaves[i], leaves[i + 1]}, 2.0));
+      if (leaves.size() % 2) next_lvl.push_back(leaves.back());
+      leaves.swap(next_lvl);
+    }
+    t.set_root(leaves[0]);
+    execute_parallel(elaborate(t), 8);
+    ASSERT_EQ(count.load(), 512) << "rep " << rep;
+  }
+}
+
+}  // namespace
+}  // namespace ndf

@@ -1,0 +1,155 @@
+// Focused tests of the DRS semantics at its edge cases: multilevel
+// pedigrees, recursion termination against strands, rewrite memoization,
+// the algebra identities of Sec. 2 ("; and ‖ are special cases of the fire
+// construct"), and failure modes (non-productive rules, cycles).
+#include <gtest/gtest.h>
+
+#include "nd/drs.hpp"
+#include "nd/spawn_tree.hpp"
+
+namespace ndf {
+namespace {
+
+/// Two-level chain: root = (a ; b) ~T~> (c ; d) with a multilevel rule.
+TEST(FireSemantics, MultilevelPedigreeTargetsDeepSubtask) {
+  SpawnTree t;
+  const FireType ty = t.rules().add_type("T");
+  // +(1) T -> -(2): from the source's first child to the sink's second.
+  t.rules().add_rule(ty, {1}, FireRules::kFull, {2});
+  NodeId a = t.strand(7, 1, "a");
+  NodeId b = t.strand(1, 1, "b");
+  NodeId c = t.strand(1, 1, "c");
+  NodeId d = t.strand(9, 1, "d");
+  t.set_root(t.fire(ty, t.seq({a, b}), t.seq({c, d}), 4));
+  StrandGraph g = elaborate(t);
+  // Expected arrows: a->b, c->d (seq) and a->d (fire).
+  ASSERT_EQ(g.arrows().size(), 3u);
+  // Span: max{a+b, c+d, a+d} = max{8, 10, 16} = 16.
+  EXPECT_DOUBLE_EQ(g.span(), 16.0);
+}
+
+TEST(FireSemantics, SeqViaFullFireTypeEqualsSeq) {
+  // "the binary ; and ‖ constructs are special cases of the fire
+  // construct" (Sec. 2): composing with kFull equals a seq node.
+  SpawnTree t1, t2;
+  auto build = [](SpawnTree& t, bool use_fire) {
+    NodeId a = t.strand(3, 1), b = t.strand(5, 1);
+    t.set_root(use_fire ? t.fire(FireRules::kFull, a, b, 2)
+                        : t.seq({a, b}, 2));
+  };
+  build(t1, true);
+  build(t2, false);
+  EXPECT_DOUBLE_EQ(elaborate(t1).span(), elaborate(t2).span());
+  EXPECT_DOUBLE_EQ(elaborate(t1).span(), 8.0);
+}
+
+TEST(FireSemantics, ParViaEmptyFireTypeEqualsPar) {
+  SpawnTree t;
+  NodeId a = t.strand(3, 1), b = t.strand(5, 1);
+  t.set_root(t.fire(FireRules::kEmpty, a, b, 2));
+  EXPECT_DOUBLE_EQ(elaborate(t).span(), 5.0);
+  EXPECT_DOUBLE_EQ(elaborate(t).work(), 8.0);
+}
+
+TEST(FireSemantics, RecursionTerminationOneSidedStrand) {
+  // Source is a strand, sink is composite: rules keep descending the sink
+  // side only, and each resolved endpoint gets a full dependency.
+  SpawnTree t;
+  const FireType ty = t.rules().add_type("T");
+  t.rules().add_rule(ty, {1, 1}, ty, {1});
+  t.rules().add_rule(ty, {1, 1}, ty, {2});
+  NodeId src = t.strand(10, 1, "src");
+  NodeId c = t.strand(2, 1), d = t.strand(3, 1);
+  t.set_root(t.fire(ty, src, t.par({c, d}), 3));
+  StrandGraph g = elaborate(t);
+  // src gates both sink leaves: span = 10 + max(2,3).
+  EXPECT_DOUBLE_EQ(g.span(), 13.0);
+}
+
+TEST(FireSemantics, MemoizationDeduplicatesArrows) {
+  // Two rules that resolve to the same (src, dst) pair must add one edge.
+  SpawnTree t;
+  const FireType ty = t.rules().add_type("T");
+  t.rules().add_rule(ty, {1}, FireRules::kFull, {1});
+  t.rules().add_rule(ty, {1, 1}, FireRules::kFull, {1, 1});  // same leaves
+  NodeId a = t.strand(1, 1), b = t.strand(1, 1);
+  t.set_root(t.fire(ty, t.par({a, t.strand(1, 1)}),
+                    t.par({b, t.strand(1, 1)}), 4));
+  StrandGraph g = elaborate(t);
+  std::size_t ab_edges = 0;
+  for (const TaskArrow& arrow : g.arrows())
+    if (arrow.from == a && arrow.to == b) ++ab_edges;
+  EXPECT_EQ(ab_edges, 1u);
+}
+
+TEST(FireSemantics, NonProductiveRuleIsRejectedAtElaboration) {
+  SpawnTree t;
+  const FireType ty = t.rules().add_type("BAD");
+  t.rules().add_rule(ty, {}, ty, {});  // same nodes, same type: no progress
+  NodeId a = t.strand(1, 1), b = t.strand(1, 1);
+  t.set_root(t.fire(ty, t.par({a, t.strand(1, 1)}),
+                    t.par({b, t.strand(1, 1)}), 4));
+  EXPECT_THROW(elaborate(t), CheckError);
+}
+
+TEST(FireSemantics, EmptyPedigreeTypeChangeIsAllowed) {
+  // The Cholesky-style union: a rule that only changes type is fine as
+  // long as the chain of such rules terminates.
+  SpawnTree t;
+  const FireType u = t.rules().add_type("U");
+  const FireType v = t.rules().add_type("V");
+  t.rules().add_rule(u, {}, v, {});
+  t.rules().add_rule(v, {1}, FireRules::kFull, {1});
+  NodeId a = t.strand(4, 1), b = t.strand(6, 1);
+  t.set_root(t.fire(u, t.par({a, t.strand(1, 1)}),
+                    t.par({b, t.strand(1, 1)}), 4));
+  StrandGraph g = elaborate(t);
+  EXPECT_DOUBLE_EQ(g.span(), 10.0);  // a -> b chain
+}
+
+TEST(FireSemantics, NpModeTurnsEveryFireIntoBarrier) {
+  SpawnTree t;
+  const FireType ty = t.rules().add_type("T");
+  t.rules().add_rule(ty, {1}, FireRules::kFull, {1});
+  NodeId a = t.strand(1, 1), b = t.strand(100, 1);
+  NodeId c = t.strand(1, 1), d = t.strand(1, 1);
+  t.set_root(t.fire(ty, t.par({a, b}), t.par({c, d}), 4));
+  EXPECT_DOUBLE_EQ(elaborate(t).span(), 100.0);  // b free of the sink
+  EXPECT_DOUBLE_EQ(elaborate(t, {.np_mode = true}).span(), 101.0);
+}
+
+TEST(FireSemantics, DeepPedigreePastLeafStopsAtLeaf) {
+  SpawnTree t;
+  const FireType ty = t.rules().add_type("T");
+  // Pedigree deeper than the tree: (1)(1)(1)(1) over depth-1 children.
+  t.rules().add_rule(ty, {1, 1, 1, 1}, FireRules::kFull, {2});
+  NodeId a = t.strand(5, 1), b = t.strand(1, 1);
+  NodeId c = t.strand(1, 1), d = t.strand(4, 1);
+  t.set_root(t.fire(ty, t.seq({a, b}), t.seq({c, d}), 4));
+  // descend(source, 1111) stops at strand a; arrow a -> d.
+  EXPECT_DOUBLE_EQ(elaborate(t).span(), 9.0);
+}
+
+TEST(FireSemantics, NarySeqAndParInsideFire) {
+  SpawnTree t;
+  const FireType ty = t.rules().add_type("T");
+  t.rules().add_rule(ty, {3}, FireRules::kFull, {1});
+  NodeId a = t.strand(1, 1), b = t.strand(1, 1), c = t.strand(7, 1);
+  NodeId x = t.strand(2, 1), y = t.strand(1, 1), z = t.strand(1, 1);
+  t.set_root(t.fire(ty, t.par({a, b, c}), t.par({x, y, z}), 6));
+  // Only c gates x: span = c + x = 9.
+  EXPECT_DOUBLE_EQ(elaborate(t).span(), 9.0);
+}
+
+TEST(FireSemantics, PedigreeIndexOutOfRangeThrows) {
+  SpawnTree t;
+  const FireType ty = t.rules().add_type("T");
+  t.rules().add_rule(ty, {3}, FireRules::kFull, {1});  // source has 2 kids
+  NodeId a = t.strand(1, 1), b = t.strand(1, 1);
+  t.set_root(t.fire(ty, t.par({a, t.strand(1, 1)}),
+                    t.par({b, t.strand(1, 1)}), 4));
+  EXPECT_THROW(elaborate(t), CheckError);
+}
+
+}  // namespace
+}  // namespace ndf

@@ -1,0 +1,56 @@
+// Tests for the PMH machine model's index arithmetic.
+#include <gtest/gtest.h>
+
+#include "pmh/machine.hpp"
+
+namespace ndf {
+namespace {
+
+TEST(Pmh, FlatMachineShape) {
+  Pmh m(PmhConfig::flat(8, 1024, 10));
+  EXPECT_EQ(m.num_cache_levels(), 1u);
+  EXPECT_EQ(m.num_processors(), 8u);
+  EXPECT_EQ(m.num_caches(1), 8u);  // one private cache per processor
+  EXPECT_DOUBLE_EQ(m.cache_size(1), 1024);
+  EXPECT_DOUBLE_EQ(m.miss_cost(1), 10);
+  EXPECT_EQ(m.cache_above(5, 1), 5u);
+}
+
+TEST(Pmh, TwoTierShapeAndAncestors) {
+  // 4 sockets × 8 cores.
+  Pmh m(PmhConfig::two_tier(4, 8, 256, 8192, 3, 30));
+  EXPECT_EQ(m.num_cache_levels(), 2u);
+  EXPECT_EQ(m.num_processors(), 32u);
+  EXPECT_EQ(m.num_caches(2), 4u);
+  EXPECT_EQ(m.num_caches(1), 32u);
+  EXPECT_EQ(m.procs_per_cache(1), 1u);
+  EXPECT_EQ(m.procs_per_cache(2), 8u);
+  EXPECT_EQ(m.cache_above(0, 2), 0u);
+  EXPECT_EQ(m.cache_above(7, 2), 0u);
+  EXPECT_EQ(m.cache_above(8, 2), 1u);
+  EXPECT_EQ(m.cache_above(31, 2), 3u);
+  EXPECT_EQ(m.cache_above(13, 1), 13u);
+}
+
+TEST(Pmh, LcaLevels) {
+  Pmh m(PmhConfig::two_tier(2, 4, 64, 1024, 1, 10));
+  EXPECT_EQ(m.lca_level(0, 0), 0u);
+  EXPECT_EQ(m.lca_level(0, 1), 2u);   // same socket, different L1
+  EXPECT_EQ(m.lca_level(0, 4), 3u);   // different sockets → memory
+}
+
+TEST(Pmh, RejectsDecreasingCacheSizes) {
+  PmhConfig cfg;
+  cfg.levels.push_back(LevelSpec{1024, 2, 1});
+  cfg.levels.push_back(LevelSpec{64, 2, 10});  // smaller above — invalid
+  EXPECT_THROW(Pmh{cfg}, CheckError);
+}
+
+TEST(Pmh, ToStringMentionsShape) {
+  Pmh m(PmhConfig::flat(4, 100, 5));
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("p=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndf

@@ -1,0 +1,178 @@
+// Real-thread runtime tests: the work-stealing executor must produce the
+// same results as the serial reference under concurrency, across repeated
+// runs (schedule fuzzing), for every algorithm kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/cholesky.hpp"
+#include "algos/lcs.hpp"
+#include "algos/matmul.hpp"
+#include "algos/trs.hpp"
+#include "nd/drs.hpp"
+#include "runtime/deque.hpp"
+#include "runtime/executor.hpp"
+#include "support/rng.hpp"
+
+#include <thread>
+
+namespace ndf {
+namespace {
+
+Matrix<double> random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Matrix<double> m(r, c);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+TEST(WsDequeTest, LifoOwnerFifoThief) {
+  WsDeque d(16);
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.steal(), 1);   // thief takes the oldest
+  EXPECT_EQ(d.pop(), 3);     // owner takes the newest
+  EXPECT_EQ(d.pop(), 2);
+  EXPECT_EQ(d.pop(), WsDeque::kEmpty);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WsDequeTest, ConcurrentStealsLoseNothing) {
+  const int N = 20000;
+  WsDeque d(N + 1);
+  std::atomic<long long> sum{0};
+  std::atomic<int> taken{0};
+  for (int i = 1; i <= N; ++i) d.push(i);
+  auto thief = [&] {
+    while (taken.load() < N) {
+      const std::int32_t v = d.steal();
+      if (v >= 0) {
+        sum += v;
+        ++taken;
+      } else if (v == WsDeque::kEmpty && d.empty()) {
+        break;
+      }
+    }
+  };
+  std::thread t1(thief), t2(thief), t3(thief);
+  // Owner pops concurrently.
+  while (taken.load() < N) {
+    const std::int32_t v = d.pop();
+    if (v >= 0) {
+      sum += v;
+      ++taken;
+    } else if (d.empty()) {
+      break;
+    }
+  }
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_EQ(taken.load(), N);
+  EXPECT_EQ(sum.load(), (long long)N * (N + 1) / 2);
+}
+
+TEST(Executor, ParallelMatmulMatchesSerial) {
+  const std::size_t n = 64, base = 8;
+  Matrix<double> A = random_matrix(n, n, 1), B = random_matrix(n, n, 2);
+  Matrix<double> C(n, n, 0.0), Cref(n, n, 0.0);
+  mm_reference(A.view(), B.view(), Cref.view(), +1.0, false);
+
+  for (int rep = 0; rep < 3; ++rep) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) C(i, j) = 0.0;
+    SpawnTree t;
+    const LinalgTypes ty = LinalgTypes::install(t);
+    t.set_root(build_mm(t, ty, n, n, n, base, +1.0,
+                        MmViews{A.view(), B.view(), C.view(), false}));
+    StrandGraph g = elaborate(t);
+    const ExecReport r = execute_parallel(g, 4);
+    EXPECT_EQ(r.strands, t.strand_count(t.root()));
+    double d = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        d = std::max(d, std::abs(C(i, j) - Cref(i, j)));
+    EXPECT_LT(d, 1e-9);
+  }
+}
+
+TEST(Executor, ParallelTrsMatchesReference) {
+  const std::size_t n = 64, base = 8;
+  Matrix<double> T = random_matrix(n, n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) T(i, j) = 0.0;
+    T(i, i) = 2.0 + std::abs(T(i, i));
+  }
+  Matrix<double> B = random_matrix(n, n, 4);
+  Matrix<double> Xref = B;
+  trs_reference(TrsSide::LeftLower, T.view(), Xref.view());
+
+  Matrix<double> X = B;
+  SpawnTree t;
+  const LinalgTypes ty = LinalgTypes::install(t);
+  t.set_root(build_trs(t, ty, TrsSide::LeftLower, n, n, base,
+                       TrsViews{T.view(), X.view()}));
+  execute_parallel(elaborate(t), 4);
+  double d = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      d = std::max(d, std::abs(X(i, j) - Xref(i, j)));
+  EXPECT_LT(d, 1e-8);
+}
+
+TEST(Executor, ParallelLcsRepeatedRunsAreDeterministic) {
+  const std::size_t n = 128, base = 8;
+  Rng rng(5);
+  std::vector<int> S(n), T(n);
+  for (auto& x : S) x = int(rng.below(4));
+  for (auto& x : T) x = int(rng.below(4));
+  Matrix<int> Xref(n + 1, n + 1, 0);
+  const int ref = lcs_reference(S, T, Xref);
+
+  for (int rep = 0; rep < 5; ++rep) {
+    Matrix<int> X(n + 1, n + 1, 0);
+    SpawnTree t;
+    const LcsTypes ty = LcsTypes::install(t);
+    t.set_root(build_lcs(t, ty, n, base, LcsViews{&S, &T, &X}));
+    execute_parallel(elaborate(t), 8);
+    ASSERT_EQ(X(n, n), ref) << "rep " << rep;
+  }
+}
+
+TEST(Executor, SingleThreadDegradesToSerial) {
+  const std::size_t n = 32;
+  Matrix<double> A = random_matrix(n, n, 7);
+  Matrix<double> Aref = A;
+  // SPD-ify.
+  Matrix<double> S(n, n, 0.0), Sref(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) S(i, j) += A(i, k) * A(j, k);
+      if (i == j) S(i, j) += double(n);
+      Sref(i, j) = S(i, j);
+    }
+  cholesky_reference(Sref.view());
+
+  SpawnTree t;
+  const LinalgTypes ty = LinalgTypes::install(t);
+  t.set_root(build_cholesky(t, ty, n, 4, S.view()));
+  execute_parallel(elaborate(t), 1);
+  double d = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      d = std::max(d, std::abs(S(i, j) - Sref(i, j)));
+  EXPECT_LT(d, 1e-8);
+  (void)Aref;
+}
+
+TEST(Executor, StructureOnlyGraphRuns) {
+  SpawnTree t = make_mm_tree(16, 4);
+  StrandGraph g = elaborate(t);
+  const ExecReport r = execute_parallel(g, 2);
+  EXPECT_EQ(r.strands, t.strand_count(t.root()));
+}
+
+}  // namespace
+}  // namespace ndf

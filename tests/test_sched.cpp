@@ -1,0 +1,136 @@
+// Tests of the space-bounded and work-stealing scheduler simulators:
+// completion, work conservation, Theorem 1 miss bounds, monotone speedup,
+// and the ND-vs-NP load-balance gap the schedulers are supposed to expose.
+#include <gtest/gtest.h>
+
+#include "algos/lcs.hpp"
+#include "algos/matmul.hpp"
+#include "algos/trs.hpp"
+#include "analysis/pcc.hpp"
+#include "nd/drs.hpp"
+#include "sched/sb_scheduler.hpp"
+#include "sched/ws_scheduler.hpp"
+
+namespace ndf {
+namespace {
+
+TEST(SbScheduler, SerialMachineMatchesTotalDuration) {
+  SpawnTree t = make_mm_tree(16, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::flat(1, 3.0 * 8 * 8 * 3, 10));
+  SbOptions opts;
+  const SbStats s = run_sb_scheduler(g, m, opts);
+  // One processor: makespan = work + all distributed miss latency.
+  EXPECT_NEAR(s.makespan, s.total_work + s.miss_cost, 1e-6);
+  EXPECT_DOUBLE_EQ(s.total_work, g.work());
+  EXPECT_NEAR(s.utilization, 1.0, 1e-9);
+}
+
+TEST(SbScheduler, MissesMatchTheorem1Bound) {
+  SpawnTree t = make_trs_tree(32, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::flat(4, 512, 10));
+  SbOptions opts;
+  const SbStats s = run_sb_scheduler(g, m, opts);
+  // Theorem 1: misses at level j <= Q*(t; σMj). Our accounting charges
+  // exactly the anchored footprints, so this holds with the glue slack.
+  const double q = parallel_cache_complexity(t, opts.sigma * 512);
+  EXPECT_LE(s.misses[0], q);
+  EXPECT_GT(s.misses[0], 0.0);
+}
+
+TEST(SbScheduler, SpeedupIsMonotoneAndBounded) {
+  SpawnTree t = make_lcs_tree(128, 4);
+  StrandGraph g = elaborate(t);
+  double prev = 0.0;
+  double t1 = 0.0;
+  for (std::size_t p : {1u, 2u, 4u, 8u}) {
+    Pmh m(PmhConfig::flat(p, 256, 5));
+    const SbStats s = run_sb_scheduler(g, m);
+    if (p == 1) t1 = s.makespan;
+    const double speedup = t1 / s.makespan;
+    EXPECT_GE(speedup, prev * 0.999);  // monotone (allowing fp noise)
+    EXPECT_LE(speedup, double(p) + 1e-9);
+    prev = speedup;
+  }
+  EXPECT_GT(prev, 2.0);  // 8 processors must beat 2x on a 128 LCS
+}
+
+TEST(SbScheduler, NdBeatsNpOnTrs) {
+  // The extra readiness from partial dependencies must shorten the
+  // simulated makespan (this is the paper's central scheduling claim).
+  SpawnTree t = make_trs_tree(64, 4);
+  StrandGraph nd = elaborate(t);
+  StrandGraph np = elaborate(t, {.np_mode = true});
+  Pmh m(PmhConfig::flat(16, 1024, 10));
+  const double ms_nd = run_sb_scheduler(nd, m).makespan;
+  const double ms_np = run_sb_scheduler(np, m).makespan;
+  EXPECT_LT(ms_nd, ms_np);
+}
+
+TEST(SbScheduler, RespectsBalancedLowerBound) {
+  SpawnTree t = make_mm_tree(32, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::flat(8, 3 * 16 * 16, 10));
+  const SbStats s = run_sb_scheduler(g, m);
+  // Makespan can't beat perfect balance of work alone.
+  EXPECT_GE(s.makespan * 8.0, s.total_work - 1e-6);
+}
+
+TEST(SbScheduler, TwoTierMachineCompletes) {
+  SpawnTree t = make_trs_tree(32, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::two_tier(2, 4, 256, 4096, 2, 20));
+  const SbStats s = run_sb_scheduler(g, m);
+  EXPECT_GT(s.makespan, 0.0);
+  ASSERT_EQ(s.misses.size(), 2u);
+  EXPECT_GT(s.misses[1], 0.0);
+  const double q2 = parallel_cache_complexity(t, 4096.0 / 3.0);
+  EXPECT_LE(s.misses[1], q2);
+}
+
+TEST(SbScheduler, ChargeMissesOffGivesPureWorkMakespanOnOneProc) {
+  SpawnTree t = make_mm_tree(8, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::flat(1, 256, 100));
+  SbOptions opts;
+  opts.charge_misses = false;
+  const SbStats s = run_sb_scheduler(g, m, opts);
+  EXPECT_NEAR(s.makespan, g.work(), 1e-9);
+}
+
+TEST(WsScheduler, CompletesAndConservesWork) {
+  SpawnTree t = make_lcs_tree(64, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::flat(4, 256, 5));
+  const WsStats s = run_ws_scheduler(g, m);
+  EXPECT_DOUBLE_EQ(s.total_work, g.work());
+  EXPECT_GT(s.makespan, 0.0);
+  EXPECT_GT(s.atomic_units, 0u);
+}
+
+TEST(WsScheduler, SbHasNoMoreMissesThanWs) {
+  // The anchoring property preserves locality; random stealing scatters
+  // tasks and reloads footprints (the [47,48] observation).
+  SpawnTree t = make_mm_tree(32, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::flat(8, 3 * 16 * 16, 10));
+  const SbStats sb = run_sb_scheduler(g, m);
+  const WsStats ws = run_ws_scheduler(g, m);
+  EXPECT_LE(sb.misses[0], ws.misses[0] * 1.001);
+}
+
+TEST(WsScheduler, DeterministicForFixedSeed) {
+  SpawnTree t = make_trs_tree(32, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::flat(4, 512, 5));
+  WsOptions o;
+  o.seed = 7;
+  const WsStats a = run_ws_scheduler(g, m, o);
+  const WsStats b = run_ws_scheduler(g, m, o);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.steals, b.steals);
+}
+
+}  // namespace
+}  // namespace ndf

@@ -1,0 +1,109 @@
+// Unit tests for spawn-tree construction, pedigrees and size inheritance.
+#include <gtest/gtest.h>
+
+#include "nd/spawn_tree.hpp"
+
+namespace ndf {
+namespace {
+
+TEST(Pedigree, ToStringMatchesPaperNotation) {
+  Pedigree p{2, 1};
+  EXPECT_EQ(p.to_string(), "(2)(1)");
+  EXPECT_EQ(p.depth(), 2u);
+  EXPECT_TRUE(Pedigree{}.empty());
+}
+
+TEST(FireRules, BuiltinsAndRegistration) {
+  FireRules r;
+  EXPECT_EQ(r.name(FireRules::kFull), "FULL");
+  EXPECT_EQ(r.name(FireRules::kEmpty), "EMPTY");
+  const FireType mm = r.add_type("MM");
+  r.add_rule(mm, {1}, mm, {1});
+  EXPECT_EQ(r.rules(mm).size(), 1u);
+  EXPECT_TRUE(r.rules(FireRules::kFull).empty());
+  EXPECT_THROW(r.add_rule(FireRules::kFull, {1}, mm, {1}), CheckError);
+}
+
+TEST(SpawnTree, ComposesAndCountsWork) {
+  SpawnTree t;
+  NodeId a = t.strand(3.0, 1.0, "a");
+  NodeId b = t.strand(4.0, 1.0, "b");
+  NodeId c = t.strand(5.0, 1.0, "c");
+  NodeId s = t.seq({a, b}, 2.0);
+  NodeId root = t.par({s, c}, 3.0);
+  t.set_root(root);
+  EXPECT_DOUBLE_EQ(t.work_of(root), 12.0);
+  EXPECT_EQ(t.strand_count(root), 3u);
+  EXPECT_EQ(t.node(a).parent, s);
+  EXPECT_EQ(t.node(s).parent, root);
+}
+
+TEST(SpawnTree, SizeInheritsFromLowestAnnotatedAncestor) {
+  SpawnTree t;
+  NodeId a = t.strand(1.0, 2.0);
+  NodeId b = t.strand(1.0, 3.0);
+  NodeId p = t.par({a, b});      // unannotated
+  NodeId q = t.seq({p, t.strand(1.0, 1.0)}, 10.0);
+  t.set_root(q);
+  EXPECT_DOUBLE_EQ(t.size_of(a), 2.0);
+  EXPECT_DOUBLE_EQ(t.size_of(p), 10.0);  // inherited from q
+  EXPECT_DOUBLE_EQ(t.size_of(q), 10.0);
+}
+
+TEST(SpawnTree, DescendFollowsPedigreeAndStopsAtStrands) {
+  SpawnTree t;
+  NodeId a = t.strand(1.0, 1.0, "a");
+  NodeId b = t.strand(1.0, 1.0, "b");
+  NodeId c = t.strand(1.0, 1.0, "c");
+  NodeId inner = t.par({a, b});
+  NodeId root = t.seq({inner, c}, 1.0);
+  t.set_root(root);
+  EXPECT_EQ(t.descend(root, {1, 2}), b);
+  EXPECT_EQ(t.descend(root, {2}), c);
+  // Descending past a strand stops at the strand.
+  EXPECT_EQ(t.descend(root, {2, 1, 1}), c);
+  EXPECT_THROW(t.descend(root, {3}), CheckError);
+}
+
+TEST(SpawnTree, InSubtreeAndStrandsUnder) {
+  SpawnTree t;
+  NodeId a = t.strand(1.0, 1.0);
+  NodeId b = t.strand(1.0, 1.0);
+  NodeId c = t.strand(1.0, 1.0);
+  NodeId p = t.par({a, b});
+  NodeId root = t.seq({p, c}, 1.0);
+  t.set_root(root);
+  EXPECT_TRUE(t.in_subtree(a, p));
+  EXPECT_TRUE(t.in_subtree(a, root));
+  EXPECT_FALSE(t.in_subtree(c, p));
+  const auto strands = t.strands_under(root);
+  ASSERT_EQ(strands.size(), 3u);
+  EXPECT_EQ(strands[0], a);
+  EXPECT_EQ(strands[1], b);
+  EXPECT_EQ(strands[2], c);
+}
+
+TEST(SpawnTree, FireNodeIsBinaryWithValidType) {
+  SpawnTree t;
+  const FireType mm = t.rules().add_type("MM");
+  NodeId a = t.strand(1.0, 1.0);
+  NodeId b = t.strand(1.0, 1.0);
+  NodeId f = t.fire(mm, a, b, 2.0);
+  t.set_root(f);
+  EXPECT_EQ(t.node(f).children.size(), 2u);
+  EXPECT_EQ(t.node(f).fire_type, mm);
+  EXPECT_THROW(t.fire(99, a, b), CheckError);
+}
+
+TEST(SpawnTree, RootMustHaveNoParent) {
+  SpawnTree t;
+  NodeId a = t.strand(1.0, 1.0);
+  NodeId b = t.strand(1.0, 1.0);
+  NodeId s = t.seq({a, b}, 1.0);
+  EXPECT_THROW(t.set_root(a), CheckError);
+  t.set_root(s);
+  EXPECT_EQ(t.root(), s);
+}
+
+}  // namespace
+}  // namespace ndf

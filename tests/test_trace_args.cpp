@@ -1,0 +1,116 @@
+// Tests for scheduler traces, CLI args and summary statistics.
+#include <gtest/gtest.h>
+
+#include "algos/lcs.hpp"
+#include "algos/trs.hpp"
+#include "nd/drs.hpp"
+#include "sched/sb_scheduler.hpp"
+#include "sched/trace.hpp"
+#include "sched/ws_scheduler.hpp"
+#include "support/args.hpp"
+#include "support/summary.hpp"
+
+namespace ndf {
+namespace {
+
+TEST(TraceTest, SbTraceIsValidAndCoversAllUnits) {
+  SpawnTree t = make_lcs_tree(128, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::flat(4, 256, 5));
+  Trace trace;
+  SbOptions opts;
+  opts.trace = &trace;
+  const SbStats s = run_sb_scheduler(g, m, opts);
+  EXPECT_EQ(trace.size(), s.atomic_units);
+  std::string msg;
+  EXPECT_TRUE(validate_trace(trace, m.num_processors(), &msg)) << msg;
+  for (const TraceEvent& e : trace) {
+    EXPECT_GE(e.start, 0.0);
+    EXPECT_LE(e.end, s.makespan + 1e-9);
+  }
+}
+
+TEST(TraceTest, WsTraceIsValid) {
+  SpawnTree t = make_trs_tree(32, 4);
+  StrandGraph g = elaborate(t);
+  Pmh m(PmhConfig::flat(4, 512, 5));
+  Trace trace;
+  WsOptions opts;
+  opts.trace = &trace;
+  const WsStats s = run_ws_scheduler(g, m, opts);
+  EXPECT_EQ(trace.size(), s.atomic_units);
+  std::string msg;
+  EXPECT_TRUE(validate_trace(trace, m.num_processors(), &msg)) << msg;
+}
+
+TEST(TraceTest, UtilizationTimelineIntegratesToBusyFraction) {
+  Trace trace;
+  trace.push_back({0.0, 10.0, 0, 0});
+  trace.push_back({5.0, 10.0, 1, 1});
+  const auto tl = utilization_timeline(trace, 2, 10.0, 10);
+  ASSERT_EQ(tl.size(), 10u);
+  EXPECT_NEAR(tl[0], 0.5, 1e-12);  // only proc 0 busy
+  EXPECT_NEAR(tl[9], 1.0, 1e-12);  // both busy
+  double avg = 0;
+  for (double x : tl) avg += x;
+  EXPECT_NEAR(avg / 10.0, 15.0 / 20.0, 1e-12);
+}
+
+TEST(TraceTest, ValidateCatchesOverlap) {
+  Trace trace;
+  trace.push_back({0.0, 10.0, 0, 0});
+  trace.push_back({5.0, 8.0, 0, 1});  // same proc, overlapping
+  std::string msg;
+  EXPECT_FALSE(validate_trace(trace, 1, &msg));
+  EXPECT_FALSE(msg.empty());
+}
+
+TEST(ArgsTest, ParsesTypedFlags) {
+  const char* argv[] = {"prog", "--n=128", "--sigma=0.25", "--verbose",
+                        "--mode=fast"};
+  Args a(5, argv);
+  EXPECT_EQ(a.get("n", 0LL), 128);
+  EXPECT_DOUBLE_EQ(a.get("sigma", 0.0), 0.25);
+  EXPECT_TRUE(a.get("verbose", false));
+  EXPECT_EQ(a.get("mode", std::string("slow")), "fast");
+  EXPECT_EQ(a.get("missing", 7LL), 7);
+  EXPECT_TRUE(a.has("n"));
+  EXPECT_FALSE(a.has("m"));
+}
+
+TEST(ArgsTest, RejectsMalformedInput) {
+  {
+    const char* argv[] = {"prog", "positional"};
+    EXPECT_THROW(Args(2, argv), CheckError);
+  }
+  {
+    const char* argv[] = {"prog", "--n=abc"};
+    Args a(2, argv);
+    EXPECT_THROW(a.get("n", 0LL), CheckError);
+  }
+  {
+    const char* argv[] = {"prog", "--flag=maybe"};
+    Args a(2, argv);
+    EXPECT_THROW(a.get("flag", false), CheckError);
+  }
+}
+
+TEST(SummaryTest, ComputesOrderStatistics) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(SummaryTest, EvenCountMedianAveragesMiddlePair) {
+  const std::vector<double> xs{1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 2.5);
+  EXPECT_THROW(summarize({}), CheckError);
+}
+
+}  // namespace
+}  // namespace ndf
