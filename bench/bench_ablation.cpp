@@ -2,7 +2,8 @@
 //   A1 — dilation parameter σ (boundedness): capacity vs parallelism.
 //   A2 — allocation exponent α' in gi(S): subcluster provisioning.
 //   A3 — base-case size: span/overhead vs cache-complexity granularity.
-// Flags: --n=<size> --algo=trs|lcs (defaults exercise both).
+// Flags: --n=<size> --sched=<policy> (default sb; A1 applies to any
+// registered policy, A2 is sb-specific), --json=<path>.
 #include <cmath>
 
 #include "algos/lcs.hpp"
@@ -10,40 +11,40 @@
 #include "analysis/pcc.hpp"
 #include "bench_common.hpp"
 #include "nd/drs.hpp"
-#include "sched/sb_scheduler.hpp"
-#include "support/args.hpp"
+#include "sched/registry.hpp"
 
 using namespace ndf;
 
 namespace {
 
-void sigma_sweep(const std::string& name, const SpawnTree& tree,
-                 const StrandGraph& g, const Pmh& m) {
+void sigma_sweep(bench::Output& out, const std::string& policy,
+                 const std::string& name, const StrandGraph& g,
+                 const Pmh& m) {
   Table t("A1: sigma sweep — " + name + " on " + m.to_string());
   t.set_header({"sigma", "makespan", "misses_L1", "utilization"});
   for (double sigma : {0.1, 0.2, 1.0 / 3.0, 0.5, 0.8}) {
-    SbOptions o;
+    SchedOptions o;
     o.sigma = sigma;
-    const SbStats s = run_sb_scheduler(g, m, o);
+    const SchedStats s = run_scheduler(policy, g, m, o);
     t.add_row({sigma, s.makespan, s.misses[0], s.utilization});
   }
-  t.print(std::cout);
+  out.emit(t);
 }
 
-void alpha_sweep(const std::string& name, const StrandGraph& g,
-                 const Pmh& m) {
+void alpha_sweep(bench::Output& out, const std::string& name,
+                 const StrandGraph& g, const Pmh& m) {
   Table t("A2: allocation exponent sweep — " + name);
   t.set_header({"alpha'", "makespan", "utilization", "anchors"});
   for (double a : {0.25, 0.5, 0.75, 1.0}) {
-    SbOptions o;
+    SchedOptions o;
     o.alpha_prime = a;
-    const SbStats s = run_sb_scheduler(g, m, o);
+    const SchedStats s = run_scheduler("sb", g, m, o);
     t.add_row({a, s.makespan, s.utilization, (long long)s.anchors});
   }
-  t.print(std::cout);
+  out.emit(t);
 }
 
-void base_sweep(std::size_t n) {
+void base_sweep(bench::Output& out, std::size_t n) {
   Table t("A3: base-case sweep — TRS n=" + std::to_string(n));
   t.set_header({"base", "strands", "span_ND", "span_NP", "Q*(M=768)"});
   for (std::size_t b : {2, 4, 8, 16}) {
@@ -53,7 +54,7 @@ void base_sweep(std::size_t n) {
                g.span(), elaborate(tree, {.np_mode = true}).span(),
                parallel_cache_complexity(tree, 768.0)});
   }
-  t.print(std::cout);
+  out.emit(t);
 }
 
 }  // namespace
@@ -61,6 +62,8 @@ void base_sweep(std::size_t n) {
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const std::size_t n = std::size_t(args.get("n", 64LL));
+  const std::string policy = bench::single_policy(args, "sb");
+  bench::Output out("EA ablations", args);
   bench::heading("EA ablations",
                  "Design-choice ablations: boundedness sigma, allocation "
                  "exponent, base-case size.");
@@ -68,17 +71,17 @@ int main(int argc, char** argv) {
     SpawnTree tree = make_trs_tree(n, 4);
     StrandGraph g = elaborate(tree);
     Pmh m(PmhConfig::flat(8, 768, 10));
-    sigma_sweep("TRS n=" + std::to_string(n), tree, g, m);
+    sigma_sweep(out, policy, "TRS n=" + std::to_string(n), g, m);
     Pmh deep(PmhConfig::two_tier(2, 4, 192, 3072, 3, 30));
-    alpha_sweep("TRS n=" + std::to_string(n), g, deep);
+    alpha_sweep(out, "TRS n=" + std::to_string(n), g, deep);
   }
   {
     SpawnTree tree = make_lcs_tree(4 * n, 4);
     StrandGraph g = elaborate(tree);
     Pmh m(PmhConfig::flat(8, 256, 10));
-    sigma_sweep("LCS n=" + std::to_string(4 * n), tree, g, m);
+    sigma_sweep(out, policy, "LCS n=" + std::to_string(4 * n), g, m);
   }
-  base_sweep(n);
+  base_sweep(out, n);
   std::cout << "Expected shape: very small sigma serializes (capacity), "
                "sigma near 1 overcommits caches without miss benefit in "
                "this model; alpha' mainly shifts anchoring granularity; "

@@ -2,16 +2,38 @@
 // the series the paper's corresponding claim describes (EXPERIMENTS.md maps
 // bench → table/figure/claim) plus a fitted growth exponent where the claim
 // is asymptotic.
+//
+// Passing `--json=<path>` to any bench that routes its tables through
+// bench::Output mirrors every table into a machine-readable JSON file
+// (e.g. BENCH_sb_vs_ws.json) for the perf trajectory.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sched/registry.hpp"
+#include "support/args.hpp"
 #include "support/fit.hpp"
 #include "support/table.hpp"
 
 namespace ndf::bench {
+
+/// `--sched=<name>` for benches that run exactly one policy; validated
+/// against the registry (the error lists the registered names).
+inline std::string single_policy(const Args& args, const std::string& dflt) {
+  const auto list = parse_sched_list(args.get("sched", dflt));
+  NDF_CHECK_MSG(list.size() == 1,
+                "--sched expects exactly one policy here, got "
+                    << list.size());
+  return list[0];
+}
 
 inline void heading(const std::string& id, const std::string& claim) {
   std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
@@ -23,5 +45,100 @@ inline void print_fit(const std::string& label, std::vector<double> xs,
   std::cout << label << ": fitted exponent " << f.slope << " (r2 " << f.r2
             << ")\n";
 }
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void write_cell(std::ostream& os, const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os << '"' << json_escape(*s) << '"';
+  } else if (const auto* i = std::get_if<long long>(&cell)) {
+    os << *i;
+  } else {
+    const double d = std::get<double>(cell);
+    if (std::isfinite(d))
+      os << d;
+    else
+      os << "null";  // JSON has no inf/nan
+  }
+}
+
+}  // namespace detail
+
+/// Routes bench tables to stdout and, when `--json=<path>` was given,
+/// mirrors them into a JSON file on destruction:
+///   {"bench": "<id>", "tables": [{"title", "header", "rows"}, ...]}
+class Output {
+ public:
+  Output(std::string bench_id, const Args& args)
+      : id_(std::move(bench_id)), path_(args.get("json", std::string())) {}
+
+  Output(const Output&) = delete;
+  Output& operator=(const Output&) = delete;
+
+  ~Output() {
+    if (path_.empty()) return;
+    std::ofstream os(path_);
+    if (!os) {
+      std::cerr << "bench: cannot write --json=" << path_ << "\n";
+      return;
+    }
+    // Round-trippable doubles — the whole point of the JSON mirror.
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "{\n  \"bench\": \"" << detail::json_escape(id_)
+       << "\",\n  \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const Table& tab = tables_[t];
+      os << (t ? ",\n" : "\n") << "    {\"title\": \""
+         << detail::json_escape(tab.title()) << "\", \"header\": [";
+      for (std::size_t c = 0; c < tab.header().size(); ++c)
+        os << (c ? ", " : "") << '"' << detail::json_escape(tab.header()[c])
+           << '"';
+      os << "], \"rows\": [";
+      for (std::size_t r = 0; r < tab.rows().size(); ++r) {
+        os << (r ? ", " : "") << '[';
+        const auto& row = tab.rows()[r];
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          if (c) os << ", ";
+          detail::write_cell(os, row[c]);
+        }
+        os << ']';
+      }
+      os << "]}";
+    }
+    os << "\n  ]\n}\n";
+  }
+
+  /// Prints the table and records it for the JSON mirror.
+  void emit(const Table& t) {
+    t.print(std::cout);
+    if (!path_.empty()) tables_.push_back(t);
+  }
+
+ private:
+  std::string id_;
+  std::string path_;
+  std::vector<Table> tables_;
+};
 
 }  // namespace ndf::bench

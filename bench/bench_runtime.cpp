@@ -1,6 +1,8 @@
 // E10 — the runtime prototype on real cores: fire-construct programs
 // executed by the work-stealing counter executor, versus their serial
 // elision, on actual hardware threads.
+//
+// Flags: --json=<path> mirrors the wall-time tables to JSON.
 #include <thread>
 
 #include "algos/lcs.hpp"
@@ -34,7 +36,9 @@ double median_run(const StrandGraph& g, std::size_t threads, int reps = 3) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  bench::Output out("E10 runtime/real threads", args);
   const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
   bench::heading("E10 runtime/real threads",
                  "Runtime prototype: ND programs executed by the "
@@ -57,7 +61,7 @@ int main() {
       const double tp = median_run(g, p);
       tb.add_row({(long long)p, tp, t1 / tp});
     }
-    tb.print(std::cout);
+    out.emit(tb);
   }
   {
     const std::size_t n = 1024, base = 64;
@@ -83,7 +87,7 @@ int main() {
       const double snp = median_run(elaborate(t2, {.np_mode = true}), p);
       tb.add_row({(long long)p, snd, snp, snp / snd});
     }
-    tb.print(std::cout);
+    out.emit(tb);
   }
   {
     const std::size_t n = 4096, base = 128;
@@ -103,7 +107,7 @@ int main() {
       const double tp = median_run(g, p);
       tb.add_row({(long long)p, tp, t1 / tp});
     }
-    tb.print(std::cout);
+    out.emit(tb);
   }
   std::cout << "Expected shape: speedup grows with threads; ND TRS at least "
                "matches NP (same work, more overlap).\n";

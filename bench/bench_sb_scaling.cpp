@@ -3,33 +3,37 @@
 // N > M_{h-1}, ND stays efficient out to ~N^{1-c}/M_{h-1} subclusters,
 // while NP TRS/Cholesky lose efficiency much earlier). We sweep processor
 // counts and report speedup and efficiency for both elaborations.
+//
+// Flags: --sched=<policy> (default sb — any registry policy can be swept),
+// --json=<path>.
 #include "algos/cholesky.hpp"
 #include "algos/lcs.hpp"
 #include "algos/trs.hpp"
 #include "bench_common.hpp"
 #include "nd/drs.hpp"
-#include "sched/sb_scheduler.hpp"
+#include "sched/registry.hpp"
 
 using namespace ndf;
 
 namespace {
 
 template <typename Make>
-void sweep(const std::string& name, Make make, std::size_t n, double M1) {
+void sweep(bench::Output& out, const std::string& policy,
+           const std::string& name, Make make, std::size_t n, double M1) {
   SpawnTree tree = make(n, 4);
   StrandGraph nd = elaborate(tree);
   StrandGraph np = elaborate(tree, {.np_mode = true});
 
   Table t(name + " n=" + std::to_string(n) +
-          ": SB speedup vs p (flat PMH, M1=" +
+          ": " + policy + " speedup vs p (flat PMH, M1=" +
           std::to_string((long long)M1) + ")");
   t.set_header({"p", "T_ND", "T_NP", "speedup_ND", "speedup_NP", "eff_ND",
                 "eff_NP"});
   double t1_nd = 0, t1_np = 0;
   for (std::size_t p : {1, 2, 4, 8, 16, 32, 64}) {
     Pmh m(PmhConfig::flat(p, M1, 10));
-    const double ms_nd = run_sb_scheduler(nd, m).makespan;
-    const double ms_np = run_sb_scheduler(np, m).makespan;
+    const double ms_nd = run_scheduler(policy, nd, m).makespan;
+    const double ms_np = run_scheduler(policy, np, m).makespan;
     if (p == 1) {
       t1_nd = ms_nd;
       t1_np = ms_np;
@@ -37,19 +41,22 @@ void sweep(const std::string& name, Make make, std::size_t n, double M1) {
     t.add_row({(long long)p, ms_nd, ms_np, t1_nd / ms_nd, t1_np / ms_np,
                t1_nd / ms_nd / double(p), t1_np / ms_np / double(p)});
   }
-  t.print(std::cout);
+  out.emit(t);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::string policy = bench::single_policy(args, "sb");
+  bench::Output out("E8 sb-scaling/ND vs NP", args);
   bench::heading("E8 sb-scaling/ND vs NP",
                  "Sec. 1+4: SB schedulers exploit the ND model's extra "
                  "parallelizability — ND keeps near-linear speedup to "
                  "larger p; NP TRS/Cholesky flatten early.");
-  sweep("TRS", make_trs_tree, 128, 3 * 16 * 16);
-  sweep("Cholesky", make_cholesky_tree, 128, 3 * 16 * 16);
-  sweep("LCS", make_lcs_tree, 512, 64);
+  sweep(out, policy, "TRS", make_trs_tree, 128, 3 * 16 * 16);
+  sweep(out, policy, "Cholesky", make_cholesky_tree, 128, 3 * 16 * 16);
+  sweep(out, policy, "LCS", make_lcs_tree, 512, 64);
   std::cout << "Expected shape: eff_ND stays near 1 to higher p than "
                "eff_NP; the gap widens with p (who wins: ND, by a growing "
                "factor).\n";

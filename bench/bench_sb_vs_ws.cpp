@@ -1,53 +1,88 @@
 // E9 — SB vs randomized work stealing: anchoring preserves locality while
 // stealing scatters footprints (the empirical motivation from [47, 48]).
 // Same DAGs, same machine, same atomic units; compare misses and makespan.
+//
+// Flags: --sched=sb,ws[,greedy,serial] (policies from the registry; the
+// first is the ratio baseline), --json=<path>.
+#include <algorithm>
+#include <cctype>
+
 #include "algos/cholesky.hpp"
 #include "algos/lcs.hpp"
 #include "algos/matmul.hpp"
 #include "algos/trs.hpp"
 #include "bench_common.hpp"
 #include "nd/drs.hpp"
-#include "sched/sb_scheduler.hpp"
-#include "sched/ws_scheduler.hpp"
+#include "sched/registry.hpp"
 
 using namespace ndf;
 
 namespace {
 
+std::string upper(std::string s) {
+  for (char& c : s) c = char(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
 template <typename Make>
-void compare(const std::string& name, Make make, std::size_t n,
+void compare(bench::Output& out, const std::vector<std::string>& policies,
+             const std::string& name, Make make, std::size_t n,
              const Pmh& m) {
   SpawnTree tree = make(n, 4);
   StrandGraph g = elaborate(tree);
-  const SbStats sb = run_sb_scheduler(g, m);
-  const WsStats ws = run_ws_scheduler(g, m);
+  std::vector<SchedStats> stats;
+  for (const std::string& p : policies)
+    stats.push_back(run_scheduler(p, g, m));
 
   Table t(name + " n=" + std::to_string(n) + " on " + m.to_string());
-  t.set_header({"metric", "SB", "WS", "WS/SB"});
+  std::vector<std::string> header{"metric"};
+  for (const std::string& p : policies) header.push_back(upper(p));
+  for (std::size_t i = 1; i < policies.size(); ++i)
+    header.push_back(upper(policies[i]) + "/" + upper(policies[0]));
+  t.set_header(header);
+
+  auto add = [&](const std::string& metric, auto value, auto ratio) {
+    std::vector<Cell> row{metric};
+    for (std::size_t i = 0; i < stats.size(); ++i) row.push_back(value(i));
+    for (std::size_t i = 1; i < stats.size(); ++i) row.push_back(ratio(i));
+    t.add_row(std::move(row));
+  };
   for (std::size_t l = 1; l <= m.num_cache_levels(); ++l)
-    t.add_row({std::string("misses L") + std::to_string(l), sb.misses[l - 1],
-               ws.misses[l - 1], ws.misses[l - 1] / sb.misses[l - 1]});
-  t.add_row({std::string("miss cost"), sb.miss_cost, ws.miss_cost,
-             ws.miss_cost / std::max(1.0, sb.miss_cost)});
-  t.add_row({std::string("makespan"), sb.makespan, ws.makespan,
-             ws.makespan / sb.makespan});
-  t.print(std::cout);
+    add(std::string("misses L") + std::to_string(l),
+        [&](std::size_t i) { return stats[i].misses[l - 1]; },
+        [&](std::size_t i) {
+          return stats[i].misses[l - 1] / stats[0].misses[l - 1];
+        });
+  add(std::string("miss cost"),
+      [&](std::size_t i) { return stats[i].miss_cost; },
+      [&](std::size_t i) {
+        return stats[i].miss_cost / std::max(1.0, stats[0].miss_cost);
+      });
+  add(std::string("makespan"),
+      [&](std::size_t i) { return stats[i].makespan; },
+      [&](std::size_t i) { return stats[i].makespan / stats[0].makespan; });
+  out.emit(t);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto policies =
+      parse_sched_list(args.get("sched", std::string("sb,ws")));
+  NDF_CHECK_MSG(!policies.empty(), "--sched list must name a policy");
+  bench::Output out("E9 sb-vs-ws/locality", args);
   bench::heading("E9 sb-vs-ws/locality",
                  "SB's anchoring bounds misses by Q*(sigma*M); random "
                  "stealing reloads scattered footprints ([47,48]).");
   Pmh flat(PmhConfig::flat(16, 3 * 16 * 16, 10));
   Pmh deep(PmhConfig::two_tier(4, 4, 3 * 8 * 8, 3 * 32 * 32, 3, 30));
-  compare("MM",
+  compare(out, policies, "MM",
           [](std::size_t n, std::size_t b) { return make_mm_tree(n, b); }, 64,
           flat);
-  compare("TRS", make_trs_tree, 64, flat);
-  compare("LCS", make_lcs_tree, 256, flat);
-  compare("MM(2-tier)",
+  compare(out, policies, "TRS", make_trs_tree, 64, flat);
+  compare(out, policies, "LCS", make_lcs_tree, 256, flat);
+  compare(out, policies, "MM(2-tier)",
           [](std::size_t n, std::size_t b) { return make_mm_tree(n, b); }, 64,
           deep);
   std::cout << "Expected shape: WS/SB miss ratio > 1 (often substantially); "

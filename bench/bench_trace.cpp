@@ -1,25 +1,28 @@
 // E13 — utilization timelines (Fig.-style series): processor utilization
-// over time under the SB scheduler for the ND vs NP elaborations of the
-// same program. The NP curve shows the starvation phases (serialized
+// over time under a simulated scheduler for the ND vs NP elaborations of
+// the same program. The NP curve shows the starvation phases (serialized
 // subtask boundaries) that the fire construct removes.
+//
+// Flags: --n=<size> --buckets=<k> --sched=<policy> (default sb),
+// --json=<path>.
 #include "algos/lcs.hpp"
 #include "algos/trs.hpp"
 #include "bench_common.hpp"
 #include "nd/drs.hpp"
-#include "sched/sb_scheduler.hpp"
+#include "sched/registry.hpp"
 #include "sched/trace.hpp"
-#include "support/args.hpp"
 
 using namespace ndf;
 
 namespace {
 
-void timeline(const std::string& name, const StrandGraph& g, const Pmh& m,
+void timeline(bench::Output& out, const std::string& policy,
+              const std::string& name, const StrandGraph& g, const Pmh& m,
               std::size_t buckets) {
   Trace trace;
-  SbOptions o;
+  SchedOptions o;
   o.trace = &trace;
-  const SbStats s = run_sb_scheduler(g, m, o);
+  const SchedStats s = run_scheduler(policy, g, m, o);
   const auto tl =
       utilization_timeline(trace, m.num_processors(), s.makespan, buckets);
   Table t(name + " (makespan " + std::to_string((long long)s.makespan) +
@@ -29,7 +32,7 @@ void timeline(const std::string& name, const StrandGraph& g, const Pmh& m,
     std::string bar(std::size_t(tl[b] * 40.0 + 0.5), '#');
     t.add_row({(long long)b, tl[b], bar});
   }
-  t.print(std::cout);
+  out.emit(t);
 }
 
 }  // namespace
@@ -38,23 +41,25 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   const std::size_t n = std::size_t(args.get("n", 128LL));
   const std::size_t buckets = std::size_t(args.get("buckets", 16LL));
+  const std::string policy = bench::single_policy(args, "sb");
+  bench::Output out("E13 trace/utilization", args);
   bench::heading("E13 trace/utilization",
-                 "SB-scheduler utilization over time, ND vs NP elaboration "
-                 "of the same spawn tree.");
+                 "Simulated-scheduler utilization over time, ND vs NP "
+                 "elaboration of the same spawn tree.");
   Pmh m(PmhConfig::flat(16, 768, 10));
   {
     SpawnTree tree = make_trs_tree(n, 4);
-    timeline("TRS n=" + std::to_string(n) + " [ND]", elaborate(tree), m,
-             buckets);
-    timeline("TRS n=" + std::to_string(n) + " [NP]",
+    timeline(out, policy, "TRS n=" + std::to_string(n) + " [ND]",
+             elaborate(tree), m, buckets);
+    timeline(out, policy, "TRS n=" + std::to_string(n) + " [NP]",
              elaborate(tree, {.np_mode = true}), m, buckets);
   }
   {
     Pmh m2(PmhConfig::flat(16, 96, 10));
     SpawnTree tree = make_lcs_tree(2 * n, 4);
-    timeline("LCS n=" + std::to_string(2 * n) + " [ND]", elaborate(tree), m2,
-             buckets);
-    timeline("LCS n=" + std::to_string(2 * n) + " [NP]",
+    timeline(out, policy, "LCS n=" + std::to_string(2 * n) + " [ND]",
+             elaborate(tree), m2, buckets);
+    timeline(out, policy, "LCS n=" + std::to_string(2 * n) + " [NP]",
              elaborate(tree, {.np_mode = true}), m2, buckets);
   }
   std::cout << "Expected shape: the ND timelines hold high utilization; the "

@@ -3,8 +3,11 @@
 // semantics side by side.
 //
 //   ./inspect_dag --algo=lcs --n=64 --base=8 [--dot]
+//                 [--sched=sb,ws,greedy,serial] [--p=8] [--M1=768]
 //
 // With --dot, prints the Graphviz sources (pipe into `dot -Tsvg`).
+// With --sched, simulates the named registry policies on a flat PMH of
+// --p processors with --M1-word caches and tabulates makespan and misses.
 #include <iostream>
 
 #include "algos/cholesky.hpp"
@@ -14,6 +17,7 @@
 #include "nd/dot.hpp"
 #include "nd/drs.hpp"
 #include "nd/stats.hpp"
+#include "sched/registry.hpp"
 #include "support/args.hpp"
 #include "support/table.hpp"
 
@@ -67,6 +71,24 @@ int main(int argc, char** argv) {
   }
   if (prof.size() > show)
     std::cout << "  ... (" << prof.size() - show << " more levels)\n";
+
+  const auto policies =
+      parse_sched_list(args.get("sched", std::string("")));
+  if (!policies.empty()) {
+    Pmh m(PmhConfig::flat(std::size_t(args.get("p", 8LL)),
+                          args.get("M1", 768.0), 10.0));
+    Table st("simulated schedulers on " + m.to_string() +
+             " (ND elaboration)");
+    st.set_header({"policy", "makespan", "misses_L1", "utilization",
+                   "anchors", "steals"});
+    for (const std::string& p : policies) {
+      const SchedStats s = run_scheduler(p, nd, m);
+      st.add_row({p, s.makespan, s.misses[0], s.utilization,
+                  (long long)s.anchors, (long long)s.steals});
+    }
+    std::cout << "\n";
+    st.print(std::cout);
+  }
 
   if (args.get("dot", false)) {
     std::cout << "\n--- spawn tree (DOT) ---\n" << to_dot(tree);

@@ -1,0 +1,106 @@
+#include "sched/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace ndf {
+
+namespace detail {
+// Defined in the policy translation units. Called eagerly on first registry
+// access so a static-library build cannot drop a policy whose object file
+// nothing else references.
+void register_sb_scheduler();
+void register_ws_scheduler();
+void register_greedy_scheduler();
+void register_serial_scheduler();
+}  // namespace detail
+
+namespace {
+
+struct Entry {
+  std::string description;
+  SchedulerFactory factory;
+};
+
+std::map<std::string, Entry>& table() {
+  static std::map<std::string, Entry> t;
+  return t;
+}
+
+void ensure_builtins() {
+  static const bool once = [] {
+    detail::register_sb_scheduler();
+    detail::register_ws_scheduler();
+    detail::register_greedy_scheduler();
+    detail::register_serial_scheduler();
+    return true;
+  }();
+  (void)once;
+}
+
+std::string known_names() {
+  std::string s;
+  for (const auto& [name, entry] : table()) {
+    if (!s.empty()) s += ", ";
+    s += name;
+  }
+  return s;
+}
+
+}  // namespace
+
+bool register_scheduler(const std::string& name,
+                        const std::string& description,
+                        SchedulerFactory factory) {
+  NDF_CHECK_MSG(!name.empty() && factory, "bad scheduler registration");
+  return table().emplace(name, Entry{description, std::move(factory)}).second;
+}
+
+bool scheduler_registered(const std::string& name) {
+  ensure_builtins();
+  return table().count(name) > 0;
+}
+
+std::vector<SchedulerInfo> registered_schedulers() {
+  ensure_builtins();
+  std::vector<SchedulerInfo> out;
+  for (const auto& [name, entry] : table())
+    out.push_back({name, entry.description});
+  return out;  // std::map iterates sorted by name
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedOptions& opts) {
+  ensure_builtins();
+  const auto it = table().find(name);
+  NDF_CHECK_MSG(it != table().end(), "unknown scheduler '"
+                                         << name << "' (registered: "
+                                         << known_names() << ")");
+  return it->second.factory(opts);
+}
+
+SchedStats run_scheduler(const std::string& name, const StrandGraph& g,
+                         const Pmh& machine, const SchedOptions& opts) {
+  const auto policy = make_scheduler(name, opts);
+  SimCore core(g, machine, opts);
+  return core.run(*policy);
+}
+
+std::vector<std::string> parse_sched_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    NDF_CHECK_MSG(scheduler_registered(item),
+                  "unknown scheduler '" << item << "' in --sched list "
+                                        << "(registered: " << known_names()
+                                        << ")");
+    if (std::find(out.begin(), out.end(), item) == out.end())
+      out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace ndf

@@ -1,0 +1,50 @@
+// String-keyed scheduler-policy registry: every policy registers a factory
+// under a short name ("sb", "ws", "greedy", "serial"), and benches, tests
+// and examples select policies with `--sched=<name>[,<name>...]`. Adding a
+// policy is one file: implement Scheduler, define a registration function,
+// and list it among the builtins in registry.cpp (external code can also
+// call register_scheduler directly before first use).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/sim_core.hpp"
+
+namespace ndf {
+
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(const SchedOptions&)>;
+
+struct SchedulerInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Registers a policy factory. Returns false (and keeps the existing entry)
+/// if the name is taken.
+bool register_scheduler(const std::string& name,
+                        const std::string& description,
+                        SchedulerFactory factory);
+
+bool scheduler_registered(const std::string& name);
+
+/// All registered policies, sorted by name.
+std::vector<SchedulerInfo> registered_schedulers();
+
+/// Instantiates a registered policy. Throws CheckError on unknown names
+/// (the message lists what is registered).
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedOptions& opts);
+
+/// One-shot convenience: build the policy, simulate `g` over `machine`.
+SchedStats run_scheduler(const std::string& name, const StrandGraph& g,
+                         const Pmh& machine, const SchedOptions& opts = {});
+
+/// Parses a comma-separated `--sched=` list ("sb,ws,greedy"), validating
+/// every name against the registry. Empty input yields an empty list.
+std::vector<std::string> parse_sched_list(const std::string& csv);
+
+}  // namespace ndf

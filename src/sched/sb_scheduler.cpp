@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
-#include <queue>
+#include <memory>
 
 #include "analysis/pcc.hpp"
+#include "sched/registry.hpp"
 
 namespace ndf {
 
@@ -13,244 +14,182 @@ namespace {
 
 constexpr int kRoot = -1;
 
-/// Per-maximal-task scheduler state at one cache level.
+/// Per-maximal-task anchoring state at one cache level. Readiness (the
+/// external-dependence count) lives in the core.
 struct Task {
   NodeId root = kNoNode;
   double size = 0.0;
   int parent = kRoot;      ///< task index at the level above (kRoot = memory)
-  int ext = 0;             ///< unsatisfied external incoming dataflow arrows
   bool oversized = false;  ///< size > σM at this level (a big strand)
   bool anchored = false;
   bool in_pending = false;
-  int anchor_cache = -1;               ///< cache index at this level
-  std::vector<std::size_t> lease;      ///< leased child-cache indices
-  std::size_t units = 0;               ///< atomic units underneath
+  int anchor_cache = -1;           ///< cache index at this level
+  std::vector<std::size_t> lease;  ///< leased child-cache indices
 };
 
-struct Simulator {
-  const StrandGraph& g;
-  const SpawnTree& tree;
-  const Pmh& m;
-  const SbOptions& opts;
+/// The "sb" policy: anchoring, boundedness and allocation over the core's
+/// readiness/event machinery.
+class SbScheduler final : public Scheduler {
+ public:
+  explicit SbScheduler(const SchedOptions& opts) : opts_(opts) {}
 
-  std::size_t L;                        // number of cache levels
-  std::vector<Decomposition> dec;       // dec[l-1] = σM_l decomposition
-  std::vector<std::vector<Task>> task;  // task[l-1]
-  std::vector<std::vector<std::vector<int>>> kids;  // kids[l-1][t] at l-1
+  const char* name() const override { return "sb"; }
 
-  // Atomic units = level-1 maximal tasks (indices into task[0]).
-  std::vector<double> unit_work, unit_dur;
-  std::vector<bool> unit_dispatched;
+  void init(SimCore& core) override {
+    core_ = &core;
+    const SpawnTree& tree = core.tree();
+    const Pmh& m = core.machine();
+    const std::size_t L = core.num_levels();
 
-  // Vertex firing state.
-  std::vector<char> fired;
-  std::vector<std::uint32_t> in_deg;
-
-  // Cache occupancy and child leases, per level.
-  std::vector<std::vector<double>> used;    // used[l-1][cache]
-  std::vector<std::vector<int>> leased_to;  // leased_to[l-1][cache]
-
-  // Run queues: runq[l-1][cache] plus the memory-level queue.
-  std::vector<std::vector<std::deque<int>>> runq;
-  std::deque<int> runq_mem;
-
-  // Anchoring work-list and capacity-blocked tasks.
-  std::vector<std::pair<std::size_t, int>> to_try;  // (level, task)
-  std::vector<std::vector<int>> pending;            // pending[l-1]
-
-  struct Ev {
-    double time;
-    std::size_t proc;
-    int unit;
-    bool operator>(const Ev& o) const { return time > o.time; }
-  };
-  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events;
-  std::vector<std::size_t> idle;
-
-  SbStats stats;
-  double busy_time = 0.0;
-
-  Simulator(const StrandGraph& g_, const Pmh& m_, const SbOptions& o_)
-      : g(g_), tree(g_.tree()), m(m_), opts(o_) {}
-
-  int owner_at(std::size_t level, NodeId n) const {
-    return dec[level - 1].owner[n];
-  }
-
-  void setup() {
-    L = m.num_cache_levels();
-    NDF_CHECK(opts.sigma > 0.0 && opts.sigma < 1.0);
-    dec.reserve(L);
-    for (std::size_t l = 1; l <= L; ++l)
-      dec.push_back(decompose(tree, opts.sigma * m.cache_size(l)));
-
-    task.resize(L);
-    kids.assign(L, {});
+    task_.resize(L);
+    kids_.assign(L, {});
     for (std::size_t l = 1; l <= L; ++l) {
-      auto& tl = task[l - 1];
-      tl.resize(dec[l - 1].maximal.size());
+      const Decomposition& d = core.decomposition(l);
+      auto& tl = task_[l - 1];
+      tl.resize(d.maximal.size());
       for (std::size_t i = 0; i < tl.size(); ++i) {
         Task& t = tl[i];
-        t.root = dec[l - 1].maximal[i];
+        t.root = d.maximal[i];
         t.size = tree.size_of(t.root);
-        t.oversized = t.size > opts.sigma * m.cache_size(l);
-        t.parent = l < L ? owner_at(l + 1, t.root) : kRoot;
+        t.oversized = t.size > opts_.sigma * m.cache_size(l);
+        t.parent =
+            l < L ? core.decomposition(l + 1).owner[t.root] : kRoot;
       }
     }
     for (std::size_t l = 2; l <= L; ++l) {
-      kids[l - 1].resize(task[l - 1].size());
-      for (std::size_t i = 0; i < task[l - 2].size(); ++i) {
-        const int p = task[l - 2][i].parent;
+      kids_[l - 1].resize(task_[l - 1].size());
+      for (std::size_t i = 0; i < task_[l - 2].size(); ++i) {
+        const int p = task_[l - 2][i].parent;
         NDF_CHECK(p >= 0);
-        kids[l - 1][p].push_back(static_cast<int>(i));
+        kids_[l - 1][p].push_back(static_cast<int>(i));
       }
     }
 
-    const auto& units = task[0];
-    for (std::size_t u = 0; u < units.size(); ++u)
-      for (std::size_t l = 1; l <= L; ++l)
-        ++task[l - 1][owner_at(l, units[u].root)].units;
+    unit_dur_ = core.distributed_unit_durations();
+    unit_dispatched_.assign(core.num_units(), false);
 
-    for (VertexId v = 0; v < g.num_vertices(); ++v)
-      for (VertexId w : g.successors(v)) count_edge(v, w, +1);
-
-    unit_work.resize(units.size());
-    unit_dur.resize(units.size());
-    unit_dispatched.assign(units.size(), false);
-    for (std::size_t u = 0; u < units.size(); ++u) {
-      unit_work[u] = tree.work_of(units[u].root);
-      double charge = 0.0;
-      if (opts.charge_misses)
-        for (std::size_t l = 1; l <= L; ++l) {
-          const Task& t = task[l - 1][owner_at(l, units[u].root)];
-          charge += t.size * m.miss_cost(l) / double(t.units);
-        }
-      unit_dur[u] = unit_work[u] + charge;
-      stats.total_work += unit_work[u];
-    }
-
-    fired.assign(g.num_vertices(), 0);
-    in_deg.resize(g.num_vertices());
-    for (VertexId v = 0; v < g.num_vertices(); ++v) in_deg[v] = g.in_degree(v);
-
-    used.resize(L);
-    leased_to.resize(L);
-    runq.resize(L);
-    pending.assign(L, {});
+    used_.resize(L);
+    leased_to_.resize(L);
+    runq_.resize(L);
+    pending_.assign(L, {});
     for (std::size_t l = 1; l <= L; ++l) {
-      used[l - 1].assign(m.num_caches(l), 0.0);
-      leased_to[l - 1].assign(m.num_caches(l), -1);
-      runq[l - 1].resize(m.num_caches(l));
+      used_[l - 1].assign(m.num_caches(l), 0.0);
+      leased_to_[l - 1].assign(m.num_caches(l), -1);
+      runq_[l - 1].resize(m.num_caches(l));
     }
-
-    stats.misses.assign(L, 0.0);
-    for (std::size_t p = 0; p < m.num_processors(); ++p) idle.push_back(p);
-    stats.atomic_units = units.size();
   }
 
-  /// Adjusts ext counters for edge (v, w) at every level where the
-  /// endpoints lie in different maximal tasks; on decrement-to-zero,
-  /// schedules an anchoring attempt.
-  void count_edge(VertexId v, VertexId w, int delta) {
-    const NodeId nu = g.owner(v), nv = g.owner(w);
-    for (std::size_t l = 1; l <= L; ++l) {
-      const int tu = owner_at(l, nu), tv = owner_at(l, nv);
-      if (tu == tv && tu >= 0) break;  // internal here and above
-      if (tv >= 0) {
-        Task& t = task[l - 1][tv];
-        t.ext += delta;
-        if (delta < 0 && t.ext == 0 && !t.anchored) to_try.push_back({l, tv});
+  void on_start() override {
+    // Seed anchoring with every dependency-free task, top level first.
+    const std::size_t L = core_->num_levels();
+    for (std::size_t l = L; l >= 1; --l) {
+      for (std::size_t i = 0; i < task_[l - 1].size(); ++i)
+        if (core_->task_ext(l, static_cast<int>(i)) == 0)
+          to_try_.push_back({l, static_cast<int>(i)});
+      if (l == 1) break;
+    }
+    drain_anchor_worklist();
+  }
+
+  void on_task_ready(std::size_t level, int t) override {
+    if (!task_[level - 1][t].anchored) to_try_.push_back({level, t});
+  }
+
+  void on_exit_fired(NodeId n) override { release_if_task_done(n); }
+
+  void on_unit_complete(std::size_t, int) override {
+    drain_anchor_worklist();
+  }
+
+  Assignment pick(std::size_t proc, double) override {
+    const Pmh& m = core_->machine();
+    for (std::size_t l = 1; l <= core_->num_levels(); ++l) {
+      auto& q = runq_[l - 1][m.cache_above(proc, l)];
+      if (!q.empty()) {
+        const int u = q.front();
+        q.pop_front();
+        return {u, unit_dur_[u]};
       }
     }
-  }
-
-  bool is_control(VertexId v) const { return owner_at(1, g.owner(v)) < 0; }
-
-  void fire_vertex(VertexId v, std::vector<VertexId>& cascade) {
-    if (fired[v]) return;
-    fired[v] = 1;
-    for (VertexId w : g.successors(v)) {
-      count_edge(v, w, -1);
-      if (--in_deg[w] == 0 && !fired[w] && is_control(w)) cascade.push_back(w);
+    if (!runq_mem_.empty()) {
+      const int u = runq_mem_.front();
+      runq_mem_.pop_front();
+      return {u, unit_dur_[u]};
     }
-    if (g.is_exit(v)) release_if_task_done(g.owner(v));
+    return {};
   }
 
-  void cascade_all(std::vector<VertexId>& cascade) {
-    while (!cascade.empty()) {
-      VertexId v = cascade.back();
-      cascade.pop_back();
-      fire_vertex(v, cascade);
-    }
-  }
-
+ private:
   /// Releases capacity/leases of every anchored task rooted at node n (it
   /// can be maximal at several consecutive levels).
   void release_if_task_done(NodeId n) {
-    for (std::size_t l = 1; l <= L; ++l) {
-      const int ti = owner_at(l, n);
+    for (std::size_t l = 1; l <= core_->num_levels(); ++l) {
+      const int ti = core_->decomposition(l).owner[n];
       if (ti < 0) continue;  // glue at this level, maybe a task above
-      Task& t = task[l - 1][ti];
+      Task& t = task_[l - 1][ti];
       if (t.root != n || !t.anchored || t.oversized) continue;
-      used[l - 1][t.anchor_cache] -= t.size;
+      used_[l - 1][t.anchor_cache] -= t.size;
       if (l > 1)
-        for (std::size_t c : t.lease) leased_to[l - 2][c] = -1;
+        for (std::size_t c : t.lease) leased_to_[l - 2][c] = -1;
       retry_pending(l);
       if (l > 1) retry_pending(l - 1);  // freed leases unblock children
     }
   }
 
   void retry_pending(std::size_t l) {
-    for (int ti : pending[l - 1]) {
-      task[l - 1][ti].in_pending = false;
-      to_try.push_back({l, ti});
+    for (int ti : pending_[l - 1]) {
+      task_[l - 1][ti].in_pending = false;
+      to_try_.push_back({l, ti});
     }
-    pending[l - 1].clear();
+    pending_[l - 1].clear();
   }
 
   bool parent_anchored(std::size_t l, const Task& t) const {
-    if (l == L || t.parent == kRoot) return true;
-    return task[l][t.parent].anchored;
+    if (l == core_->num_levels() || t.parent == kRoot) return true;
+    return task_[l][t.parent].anchored;
   }
 
   /// gi(S): number of level-(l-1) subclusters for a size-S task at level l.
   std::size_t allocation(std::size_t l, double S) const {
+    const Pmh& m = core_->machine();
     const double fi = double(m.fanout(l));
-    const double frac = std::pow(3.0 * S / m.cache_size(l), opts.alpha_prime);
+    const double frac = std::pow(3.0 * S / m.cache_size(l), opts_.alpha_prime);
     return static_cast<std::size_t>(
         std::min(fi, std::max(1.0, std::floor(fi * frac))));
   }
 
   void enqueue_unit(int u) {
-    if (unit_dispatched[u]) return;
-    unit_dispatched[u] = true;
-    const NodeId n = task[0][u].root;
-    for (std::size_t l = 1; l <= L; ++l) {
-      const Task& t = task[l - 1][owner_at(l, n)];
+    if (unit_dispatched_[u]) return;
+    unit_dispatched_[u] = true;
+    const NodeId n = task_[0][u].root;
+    for (std::size_t l = 1; l <= core_->num_levels(); ++l) {
+      const Task& t = task_[l - 1][core_->decomposition(l).owner[n]];
       if (!t.oversized) {
         NDF_CHECK(t.anchored && t.anchor_cache >= 0);
-        runq[l - 1][t.anchor_cache].push_back(u);
+        runq_[l - 1][t.anchor_cache].push_back(u);
         return;
       }
     }
-    runq_mem.push_back(u);
+    runq_mem_.push_back(u);
   }
 
   void try_anchor(std::size_t l, int ti) {
-    Task& t = task[l - 1][ti];
-    if (t.anchored || t.ext != 0 || !parent_anchored(l, t)) return;
+    const Pmh& m = core_->machine();
+    Task& t = task_[l - 1][ti];
+    if (t.anchored || core_->task_ext(l, ti) != 0 || !parent_anchored(l, t))
+      return;
     if (!t.oversized) {
       // Candidate anchors: parent's leased subclusters (all level-L caches
       // for top-level tasks).
       int chosen = -1;
       auto consider = [&](std::size_t c) {
         if (chosen >= 0) return;
-        if (used[l - 1][c] + t.size > opts.sigma * m.cache_size(l)) return;
+        if (used_[l - 1][c] + t.size > opts_.sigma * m.cache_size(l)) return;
         if (l > 1) {
           const std::size_t f = m.fanout(l);
           bool any_free = false;
           for (std::size_t k = c * f; k < (c + 1) * f; ++k)
-            if (leased_to[l - 2][k] < 0) {
+            if (leased_to_[l - 2][k] < 0) {
               any_free = true;
               break;
             }
@@ -258,144 +197,87 @@ struct Simulator {
         }
         chosen = static_cast<int>(c);
       };
-      if (l == L || t.parent == kRoot) {
+      if (l == core_->num_levels() || t.parent == kRoot) {
         for (std::size_t c = 0; c < m.num_caches(l); ++c) consider(c);
       } else {
-        for (std::size_t c : task[l][t.parent].lease) consider(c);
+        for (std::size_t c : task_[l][t.parent].lease) consider(c);
       }
       if (chosen < 0) {
         if (!t.in_pending) {
           t.in_pending = true;
-          pending[l - 1].push_back(ti);
+          pending_[l - 1].push_back(ti);
         }
         return;
       }
       t.anchored = true;
       t.anchor_cache = chosen;
-      used[l - 1][chosen] += t.size;
+      used_[l - 1][chosen] += t.size;
       if (l > 1) {
         const std::size_t want = allocation(l, t.size);
         const std::size_t f = m.fanout(l);
         for (std::size_t k = std::size_t(chosen) * f;
              k < (std::size_t(chosen) + 1) * f && t.lease.size() < want; ++k)
-          if (leased_to[l - 2][k] < 0) {
-            leased_to[l - 2][k] = ti;
+          if (leased_to_[l - 2][k] < 0) {
+            leased_to_[l - 2][k] = ti;
             t.lease.push_back(k);
           }
       }
     } else {
       t.anchored = true;
     }
-    stats.misses[l - 1] += t.size;
-    ++stats.anchors;
+    core_->stats().misses[l - 1] += t.size;
+    ++core_->stats().anchors;
     if (l == 1) {
       enqueue_unit(ti);
     } else {
-      for (int c : kids[l - 1][ti]) to_try.push_back({l - 1, c});
+      for (int c : kids_[l - 1][ti]) to_try_.push_back({l - 1, c});
     }
   }
 
   void drain_anchor_worklist() {
-    while (!to_try.empty()) {
-      auto [l, ti] = to_try.back();
-      to_try.pop_back();
+    while (!to_try_.empty()) {
+      auto [l, ti] = to_try_.back();
+      to_try_.pop_back();
       try_anchor(l, ti);
     }
   }
 
-  void dispatch(double now) {
-    std::vector<std::size_t> still_idle;
-    for (std::size_t p : idle) {
-      int u = -1;
-      for (std::size_t l = 1; l <= L && u < 0; ++l) {
-        auto& q = runq[l - 1][m.cache_above(p, l)];
-        if (!q.empty()) {
-          u = q.front();
-          q.pop_front();
-        }
-      }
-      if (u < 0 && !runq_mem.empty()) {
-        u = runq_mem.front();
-        runq_mem.pop_front();
-      }
-      if (u < 0) {
-        still_idle.push_back(p);
-        continue;
-      }
-      busy_time += unit_dur[u];
-      if (opts.trace)
-        opts.trace->push_back(TraceEvent{now, now + unit_dur[u],
-                                         static_cast<std::uint32_t>(p),
-                                         task[0][u].root});
-      events.push(Ev{now + unit_dur[u], p, u});
-    }
-    idle.swap(still_idle);
-  }
+  const SchedOptions opts_;
+  SimCore* core_ = nullptr;
 
-  void complete_unit(int u, std::vector<VertexId>& cascade) {
-    const NodeId root = task[0][u].root;
-    std::vector<NodeId> stack{root}, order;
-    while (!stack.empty()) {
-      NodeId n = stack.back();
-      stack.pop_back();
-      order.push_back(n);
-      for (NodeId c : tree.node(n).children) stack.push_back(c);
-    }
-    // Children before parents so the unit root's exit fires last.
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      fire_vertex(g.enter(*it), cascade);
-      fire_vertex(g.exit(*it), cascade);
-    }
-    cascade_all(cascade);
-  }
+  std::vector<std::vector<Task>> task_;             // task_[l-1]
+  std::vector<std::vector<std::vector<int>>> kids_; // kids_[l-1][t] at l-1
+  std::vector<double> unit_dur_;
+  std::vector<bool> unit_dispatched_;
 
-  SbStats run() {
-    setup();
-    std::vector<VertexId> cascade;
-    for (VertexId v = 0; v < g.num_vertices(); ++v)
-      if (in_deg[v] == 0 && !fired[v] && is_control(v)) cascade.push_back(v);
-    cascade_all(cascade);
-    // Seed anchoring with every dependency-free task, top level first.
-    for (std::size_t l = L; l >= 1; --l) {
-      for (std::size_t i = 0; i < task[l - 1].size(); ++i)
-        if (task[l - 1][i].ext == 0)
-          to_try.push_back({l, static_cast<int>(i)});
-      if (l == 1) break;
-    }
-    drain_anchor_worklist();
-    dispatch(0.0);
+  // Cache occupancy and child leases, per level.
+  std::vector<std::vector<double>> used_;    // used_[l-1][cache]
+  std::vector<std::vector<int>> leased_to_;  // leased_to_[l-1][cache]
 
-    double now = 0.0;
-    std::size_t done = 0;
-    while (!events.empty()) {
-      const Ev ev = events.top();
-      events.pop();
-      now = ev.time;
-      idle.push_back(ev.proc);
-      ++done;
-      complete_unit(ev.unit, cascade);
-      drain_anchor_worklist();
-      dispatch(now);
-    }
-    NDF_CHECK_MSG(done == task[0].size(),
-                  "SB simulation stalled: " << done << " of "
-                                            << task[0].size()
-                                            << " units completed");
-    stats.makespan = now;
-    for (std::size_t l = 1; l <= L; ++l)
-      stats.miss_cost += stats.misses[l - 1] * m.miss_cost(l);
-    stats.utilization =
-        now > 0 ? busy_time / (double(m.num_processors()) * now) : 1.0;
-    return stats;
-  }
+  // Run queues: runq_[l-1][cache] plus the memory-level queue.
+  std::vector<std::vector<std::deque<int>>> runq_;
+  std::deque<int> runq_mem_;
+
+  // Anchoring work-list and capacity-blocked tasks.
+  std::vector<std::pair<std::size_t, int>> to_try_;  // (level, task)
+  std::vector<std::vector<int>> pending_;            // pending_[l-1]
 };
 
 }  // namespace
 
-SbStats run_sb_scheduler(const StrandGraph& g, const Pmh& machine,
-                         const SbOptions& opts) {
-  Simulator sim(g, machine, opts);
-  return sim.run();
+namespace detail {
+void register_sb_scheduler() {
+  register_scheduler(
+      "sb", "space-bounded: anchoring + boundedness + allocation (Sec. 4)",
+      [](const SchedOptions& opts) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<SbScheduler>(opts);
+      });
+}
+}  // namespace detail
+
+SchedStats run_sb_scheduler(const StrandGraph& g, const Pmh& machine,
+                            const SchedOptions& opts) {
+  return run_scheduler("sb", g, machine, opts);
 }
 
 double sb_balanced_bound(const SpawnTree& tree, const Pmh& machine,

@@ -1,5 +1,5 @@
-// Space-bounded scheduler for ND programs on a PMH (Sec. 4), simulated by
-// discrete events over the elaborated strand DAG.
+// Space-bounded scheduler for ND programs on a PMH (Sec. 4), a policy on
+// the shared discrete-event core (sched/sim_core.hpp); registered as "sb".
 //
 // Faithful elements:
 //  * Anchoring: a σMi-maximal task is anchored to a level-i cache below its
@@ -18,46 +18,18 @@
 //    task's serial execution units so that it parallelizes the way the
 //    Eq. (22) bound assumes.
 //
-// Simplifications (documented in DESIGN.md): σM1-maximal tasks are atomic
-// serial units (the paper executes them depth-first on one processor
-// anyway); an idle processor takes work from the nearest ancestor anchor
-// with a non-empty queue rather than via per-anchor task queues with
-// worst-case provisioning.
+// Simplifications are documented in DESIGN.md.
 #pragma once
 
-#include <vector>
-
-#include "analysis/decompose.hpp"
-#include "nd/graph.hpp"
-#include "pmh/machine.hpp"
-#include "sched/trace.hpp"
+#include "sched/sim_core.hpp"
 
 namespace ndf {
 
-struct SbOptions {
-  double sigma = 1.0 / 3.0;  ///< dilation parameter (boundedness)
-  double alpha_prime = 1.0;  ///< allocation exponent α' = min{αmax, 1}
-  bool charge_misses = true; ///< include miss latency in strand durations
-  Trace* trace = nullptr;    ///< optional per-unit execution trace sink
-};
-
-struct SbStats {
-  double makespan = 0.0;
-  double total_work = 0.0;
-  /// misses[i] = total misses in all level-(i+1) caches (i in 0..h-2).
-  std::vector<double> misses;
-  /// Total miss latency charged (Σ_level misses·C).
-  double miss_cost = 0.0;
-  std::size_t atomic_units = 0;
-  std::size_t anchors = 0;
-  /// Average processor utilization: total busy time / (p · makespan).
-  double utilization = 0.0;
-};
-
 /// Runs the space-bounded scheduler on the elaborated graph `g` (ND or NP
 /// elaboration) over `machine`. The spawn tree must carry size annotations.
-SbStats run_sb_scheduler(const StrandGraph& g, const Pmh& machine,
-                         const SbOptions& opts = {});
+/// Equivalent to run_scheduler("sb", g, machine, opts).
+SchedStats run_sb_scheduler(const StrandGraph& g, const Pmh& machine,
+                            const SchedOptions& opts = {});
 
 /// The perfectly-load-balanced reference of Eq. (22) plus work:
 /// (T1 + Σi Q*(t;σMi)·Ci) / p.

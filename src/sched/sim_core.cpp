@@ -1,0 +1,178 @@
+#include "sched/sim_core.hpp"
+
+namespace ndf {
+
+SimCore::SimCore(const StrandGraph& g, const Pmh& machine,
+                 const SchedOptions& opts)
+    : g_(g), tree_(g.tree()), m_(machine), opts_(opts) {
+  NDF_CHECK(opts_.sigma > 0.0 && opts_.sigma < 1.0);
+  L_ = m_.num_cache_levels();
+  dec_.reserve(L_);
+  for (std::size_t l = 1; l <= L_; ++l)
+    dec_.push_back(decompose(tree_, opts_.sigma * m_.cache_size(l)));
+
+  ext_.resize(L_);
+  task_units_.resize(L_);
+  for (std::size_t l = 1; l <= L_; ++l) {
+    ext_[l - 1].assign(dec_[l - 1].maximal.size(), 0);
+    task_units_[l - 1].assign(dec_[l - 1].maximal.size(), 0);
+  }
+  for (std::size_t u = 0; u < num_units(); ++u)
+    for (std::size_t l = 1; l <= L_; ++l)
+      ++task_units_[l - 1][dec_[l - 1].owner[dec_[0].maximal[u]]];
+
+  unit_work_.resize(num_units());
+  for (std::size_t u = 0; u < num_units(); ++u) {
+    unit_work_[u] = tree_.work_of(dec_[0].maximal[u]);
+    stats_.total_work += unit_work_[u];
+  }
+  stats_.atomic_units = num_units();
+  stats_.misses.assign(L_, 0.0);
+
+  fired_.assign(g_.num_vertices(), 0);
+  in_deg_.resize(g_.num_vertices());
+  for (VertexId v = 0; v < g_.num_vertices(); ++v)
+    in_deg_[v] = g_.in_degree(v);
+}
+
+std::vector<double> SimCore::distributed_unit_durations() const {
+  std::vector<double> dur(num_units());
+  for (std::size_t u = 0; u < num_units(); ++u) {
+    double charge = 0.0;
+    if (opts_.charge_misses)
+      for (std::size_t l = 1; l <= L_; ++l) {
+        const int t = dec_[l - 1].owner[dec_[0].maximal[u]];
+        charge += tree_.size_of(dec_[l - 1].maximal[t]) * m_.miss_cost(l) /
+                  double(task_units_[l - 1][t]);
+      }
+    dur[u] = unit_work_[u] + charge;
+  }
+  return dur;
+}
+
+std::vector<int> SimCore::initially_ready_units() const {
+  std::vector<int> out;
+  for (std::size_t u = 0; u < num_units(); ++u)
+    if (ext_[0][u] == 0) out.push_back(static_cast<int>(u));
+  return out;
+}
+
+void SimCore::charge_condensed_footprints() {
+  for (std::size_t l = 1; l <= L_; ++l)
+    for (NodeId root : dec_[l - 1].maximal)
+      stats_.misses[l - 1] += tree_.size_of(root);
+}
+
+void SimCore::count_edge(VertexId v, VertexId w, int delta) {
+  const NodeId nu = g_.owner(v), nv = g_.owner(w);
+  for (std::size_t l = 1; l <= L_; ++l) {
+    const int tu = dec_[l - 1].owner[nu], tv = dec_[l - 1].owner[nv];
+    if (tu == tv && tu >= 0) break;  // internal here and above
+    if (tv >= 0) {
+      int& e = ext_[l - 1][tv];
+      e += delta;
+      if (delta < 0 && e == 0 && ready_hooks_enabled_)
+        policy_->on_task_ready(l, tv);
+    }
+  }
+}
+
+void SimCore::fire_vertex(VertexId v) {
+  if (fired_[v]) return;
+  fired_[v] = 1;
+  for (VertexId w : g_.successors(v)) {
+    count_edge(v, w, -1);
+    if (--in_deg_[w] == 0 && !fired_[w] && is_control(w))
+      cascade_.push_back(w);
+  }
+  if (g_.is_exit(v)) policy_->on_exit_fired(g_.owner(v));
+}
+
+void SimCore::cascade_all() {
+  while (!cascade_.empty()) {
+    VertexId v = cascade_.back();
+    cascade_.pop_back();
+    fire_vertex(v);
+  }
+}
+
+void SimCore::complete_unit(int u) {
+  const NodeId root = dec_[0].maximal[u];
+  std::vector<NodeId> stack{root}, order;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    for (NodeId c : tree_.node(n).children) stack.push_back(c);
+  }
+  // Children before parents so the unit root's exit fires last.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    fire_vertex(g_.enter(*it));
+    fire_vertex(g_.exit(*it));
+  }
+  cascade_all();
+}
+
+void SimCore::dispatch(double now) {
+  std::vector<std::size_t> still_idle;
+  for (std::size_t p : idle_) {
+    const Assignment a = policy_->pick(p, now);
+    if (a.unit < 0) {
+      still_idle.push_back(p);
+      continue;
+    }
+    busy_time_ += a.duration;
+    if (opts_.trace)
+      opts_.trace->push_back(TraceEvent{now, now + a.duration,
+                                        static_cast<std::uint32_t>(p),
+                                        dec_[0].maximal[a.unit]});
+    events_.push(Ev{now + a.duration, p, a.unit});
+  }
+  idle_.swap(still_idle);
+}
+
+SchedStats SimCore::run(Scheduler& policy) {
+  policy_ = &policy;
+  policy.init(*this);
+
+  // Dependence counters: one external arrow per edge crossing a maximal
+  // task boundary, at every level it crosses.
+  for (VertexId v = 0; v < g_.num_vertices(); ++v)
+    for (VertexId w : g_.successors(v)) count_edge(v, w, +1);
+
+  for (std::size_t p = 0; p < m_.num_processors(); ++p) idle_.push_back(p);
+
+  // Initial cascade: fire every dependency-free control vertex. Readiness
+  // hooks stay off — the on_start scans cover everything ready at time 0.
+  for (VertexId v = 0; v < g_.num_vertices(); ++v)
+    if (in_deg_[v] == 0 && !fired_[v] && is_control(v)) cascade_.push_back(v);
+  cascade_all();
+
+  ready_hooks_enabled_ = true;
+  policy.on_start();
+  dispatch(0.0);
+
+  double now = 0.0;
+  std::size_t done = 0;
+  while (!events_.empty()) {
+    const Ev ev = events_.top();
+    events_.pop();
+    now = ev.time;
+    idle_.push_back(ev.proc);
+    ++done;
+    complete_unit(ev.unit);
+    policy.on_unit_complete(ev.proc, ev.unit);
+    dispatch(now);
+  }
+  NDF_CHECK_MSG(done == num_units(),
+                policy.name() << " simulation stalled: " << done << " of "
+                              << num_units() << " units completed");
+  stats_.makespan = now;
+  for (std::size_t l = 1; l <= L_; ++l)
+    stats_.miss_cost += stats_.misses[l - 1] * m_.miss_cost(l);
+  stats_.utilization =
+      now > 0 ? busy_time_ / (double(m_.num_processors()) * now) : 1.0;
+  return stats_;
+}
+
+}  // namespace ndf

@@ -1,0 +1,203 @@
+// Shared discrete-event simulation core for scheduler policies on a PMH.
+//
+// Every scheduler the paper compares (space-bounded, work-stealing, and the
+// baselines) simulates the same machinery: condense the elaborated strand
+// DAG into σM1-maximal atomic units, fire vertices as units complete,
+// propagate readiness through per-level M-maximal task condensations, run a
+// time-ordered event loop over the processors, charge misses against the
+// PMH, and account work/utilization into one stats record. SimCore owns all
+// of that; a Scheduler policy only decides *which* ready unit runs *where*
+// and what latency it is charged (see DESIGN.md, "Simulator architecture").
+//
+// The split keeps policies small: SB is anchoring/boundedness/allocation,
+// WS is victim selection plus the footprint-reload cache model, greedy and
+// serial are a queue discipline each. New policies implement Scheduler and
+// register themselves in sched/registry.hpp.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "analysis/decompose.hpp"
+#include "nd/graph.hpp"
+#include "pmh/machine.hpp"
+#include "sched/trace.hpp"
+
+namespace ndf {
+
+/// Options shared by every scheduler policy. Policy-specific knobs are
+/// grouped but live here so the string-keyed registry can construct any
+/// policy from one record.
+struct SchedOptions {
+  double sigma = 1.0 / 3.0;   ///< dilation parameter: units are σM1-maximal
+  bool charge_misses = true;  ///< include miss latency in unit durations
+  Trace* trace = nullptr;     ///< optional per-unit execution trace sink
+
+  // Space-bounded family.
+  double alpha_prime = 1.0;  ///< allocation exponent α' = min{αmax, 1}
+
+  // Work-stealing family.
+  std::uint64_t seed = 42;  ///< victim-selection seed
+  double steal_cost = 0.0;  ///< fixed latency added to stolen units
+};
+
+/// Unified per-run statistics (one struct for every policy; fields that a
+/// policy does not produce stay zero).
+struct SchedStats {
+  double makespan = 0.0;
+  double total_work = 0.0;
+  /// misses[i] = total misses in all level-(i+1) caches (i in 0..h-2).
+  std::vector<double> misses;
+  /// Total miss latency charged (Σ_level misses·C).
+  double miss_cost = 0.0;
+  std::size_t atomic_units = 0;
+  std::size_t anchors = 0;  ///< space-bounded: tasks anchored
+  std::size_t steals = 0;   ///< work-stealing: successful steals
+  /// Average processor utilization: total busy time / (p · makespan).
+  double utilization = 0.0;
+};
+
+class SimCore;
+
+/// A unit chosen to run on a processor, with its full charged duration
+/// (work plus whatever latency the policy's cache model adds). unit < 0
+/// leaves the processor idle until more work appears.
+struct Assignment {
+  int unit = -1;
+  double duration = 0.0;
+};
+
+/// Scheduler policy interface. The core drives the event loop and firing;
+/// the policy reacts to readiness/completion hooks and assigns units to
+/// idle processors. Hooks are invoked in deterministic simulation order.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called once, after the core has built decompositions, units and
+  /// external-dependence counters, before anything fires.
+  virtual void init(SimCore& core) = 0;
+
+  /// Called after the initial control-vertex cascade; seed ready work from
+  /// the tasks/units whose external dependence count is already zero.
+  virtual void on_start() = 0;
+
+  /// Assign a unit to idle processor `proc` at time `now`, or return a
+  /// negative unit to leave it idle.
+  virtual Assignment pick(std::size_t proc, double now) = 0;
+
+  /// A level-`level` maximal task's last external dependence was satisfied
+  /// (level 1 = atomic units). Fired for every level, innermost first.
+  /// Not delivered during the initial control cascade — everything ready at
+  /// time zero is covered by the on_start scan (e.g. via
+  /// SimCore::initially_ready_units), so policies cannot double-queue.
+  virtual void on_task_ready(std::size_t level, int task) {
+    (void)level;
+    (void)task;
+  }
+
+  /// The exit vertex of spawn-tree node `n` fired (tasks rooted at `n` are
+  /// complete; the SB policy releases capacity here).
+  virtual void on_exit_fired(NodeId n) { (void)n; }
+
+  /// Atomic unit `unit` finished on `proc` (vertices already fired).
+  virtual void on_unit_complete(std::size_t proc, int unit) {
+    (void)proc;
+    (void)unit;
+  }
+};
+
+/// The shared simulator. Construct per run, then call run(policy).
+class SimCore {
+ public:
+  SimCore(const StrandGraph& g, const Pmh& machine, const SchedOptions& opts);
+
+  SchedStats run(Scheduler& policy);
+
+  // --- static structure available from Scheduler::init on -----------------
+  const SpawnTree& tree() const { return tree_; }
+  const Pmh& machine() const { return m_; }
+
+  std::size_t num_levels() const { return L_; }
+  /// σM_level-maximal decomposition (level in 1..num_levels()).
+  const Decomposition& decomposition(std::size_t level) const {
+    return dec_[level - 1];
+  }
+
+  /// Atomic units are the σM1-maximal tasks, indexed in spawn-tree
+  /// (depth-first, left-to-right) order.
+  std::size_t num_units() const { return dec_[0].maximal.size(); }
+  NodeId unit_root(int u) const { return dec_[0].maximal[u]; }
+  double unit_work(int u) const { return unit_work_[u]; }
+
+  /// Unsatisfied external incoming dataflow arrows of a maximal task.
+  int task_ext(std::size_t level, int t) const { return ext_[level - 1][t]; }
+
+  /// Units with no unsatisfied external dependences, in unit order. The
+  /// canonical on_start seed for unit-queue policies.
+  std::vector<int> initially_ready_units() const;
+
+  /// Per-unit durations under the distributed optimal-replacement charge:
+  /// each level-l maximal task's footprint is loaded exactly once (s(t)
+  /// misses at level l) and the latency s(t)·Cl is spread uniformly over
+  /// the task's units, the way the Eq. (22) bound assumes. This is the SB
+  /// accounting; greedy and serial reuse it as their cache model.
+  std::vector<double> distributed_unit_durations() const;
+
+  /// Charges every maximal task's footprint once into stats().misses —
+  /// the schedule-independent miss total matching
+  /// distributed_unit_durations().
+  void charge_condensed_footprints();
+
+  /// Mutable during a run: policies account misses/anchors/steals here.
+  SchedStats& stats() { return stats_; }
+
+ private:
+  struct Ev {
+    double time;
+    std::size_t proc;
+    int unit;
+    bool operator>(const Ev& o) const { return time > o.time; }
+  };
+
+  bool is_control(VertexId v) const { return dec_[0].owner[g_.owner(v)] < 0; }
+
+  /// Adjusts external-dependence counters for edge (v, w) at every level
+  /// where the endpoints lie in different maximal tasks; on decrement to
+  /// zero, notifies the policy.
+  void count_edge(VertexId v, VertexId w, int delta);
+  void fire_vertex(VertexId v);
+  void cascade_all();
+  /// Fires all vertices of completed unit `u`, children before parents so
+  /// the unit root's exit fires last.
+  void complete_unit(int u);
+  void dispatch(double now);
+
+  const StrandGraph& g_;
+  const SpawnTree& tree_;
+  const Pmh& m_;
+  const SchedOptions opts_;  // by value: a temporary argument must not dangle
+  Scheduler* policy_ = nullptr;
+  bool ready_hooks_enabled_ = false;
+
+  std::size_t L_ = 0;
+  std::vector<Decomposition> dec_;               // dec_[l-1] = σM_l
+  std::vector<std::vector<int>> ext_;            // ext_[l-1][task]
+  std::vector<std::vector<std::size_t>> task_units_;  // [l-1][task]
+  std::vector<double> unit_work_;
+
+  std::vector<char> fired_;
+  std::vector<std::uint32_t> in_deg_;
+  std::vector<VertexId> cascade_;
+
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events_;
+  std::vector<std::size_t> idle_;
+
+  SchedStats stats_;
+  double busy_time_ = 0.0;
+};
+
+}  // namespace ndf

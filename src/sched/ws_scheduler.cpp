@@ -1,223 +1,124 @@
 #include "sched/ws_scheduler.hpp"
 
 #include <deque>
-#include <queue>
+#include <memory>
 
-#include "analysis/decompose.hpp"
+#include "sched/registry.hpp"
 #include "support/rng.hpp"
 
 namespace ndf {
 
 namespace {
 
-struct WsSim {
-  const StrandGraph& g;
-  const SpawnTree& tree;
-  const Pmh& m;
-  const WsOptions& opts;
+/// The "ws" policy: per-processor LIFO deques, random victim selection,
+/// and the task-footprint reload model.
+class WsScheduler final : public Scheduler {
+ public:
+  explicit WsScheduler(const SchedOptions& opts)
+      : opts_(opts), rng_(opts.seed) {}
 
-  std::size_t L;
-  std::vector<Decomposition> dec;  // dec[l-1] = σM_l decomposition
-  std::vector<int> ext;            // per unit: unsatisfied external edges
-  std::vector<double> unit_work;
-  std::vector<char> fired;
-  std::vector<std::uint32_t> in_deg;
+  const char* name() const override { return "ws"; }
 
-  std::vector<std::deque<int>> deque_;       // per processor
-  std::vector<std::vector<int>> resident;    // resident[p][l-1] = task id
-  std::vector<std::size_t> idle;
-
-  struct Ev {
-    double time;
-    std::size_t proc;
-    int unit;
-    bool operator>(const Ev& o) const { return time > o.time; }
-  };
-  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events;
-
-  Rng rng;
-  WsStats stats;
-  double busy_time = 0.0;
-
-  WsSim(const StrandGraph& g_, const Pmh& m_, const WsOptions& o_)
-      : g(g_), tree(g_.tree()), m(m_), opts(o_), rng(o_.seed) {}
-
-  int owner_at(std::size_t l, NodeId n) const { return dec[l - 1].owner[n]; }
-  int unit_of(NodeId n) const { return dec[0].owner[n]; }
-
-  void count_edge(VertexId v, VertexId w, int delta,
-                  std::vector<int>* newly_ready) {
-    const int tu = unit_of(g.owner(v)), tv = unit_of(g.owner(w));
-    if (tu == tv || tv < 0) return;
-    ext[tv] += delta;
-    if (delta < 0 && ext[tv] == 0 && newly_ready) newly_ready->push_back(tv);
+  void init(SimCore& core) override {
+    core_ = &core;
+    deque_.resize(core.machine().num_processors());
+    resident_.assign(core.machine().num_processors(),
+                     std::vector<int>(core.num_levels(), -2));
   }
 
-  bool is_control(VertexId v) const { return unit_of(g.owner(v)) < 0; }
+  void on_start() override {
+    // Dependency-free units seed processor 0's deque.
+    for (int u : core_->initially_ready_units()) deque_[0].push_back(u);
+  }
 
-  void fire_vertex(VertexId v, std::vector<VertexId>& cascade,
-                   std::vector<int>* ready) {
-    if (fired[v]) return;
-    fired[v] = 1;
-    for (VertexId w : g.successors(v)) {
-      count_edge(v, w, -1, ready);
-      if (--in_deg[w] == 0 && !fired[w] && is_control(w)) cascade.push_back(w);
+  void on_task_ready(std::size_t level, int task) override {
+    if (level == 1) ready_.push_back(task);
+  }
+
+  void on_unit_complete(std::size_t proc, int) override {
+    for (int u : ready_) deque_[proc].push_back(u);
+    ready_.clear();
+  }
+
+  /// Own deque first (LIFO), then steal the oldest unit from a random
+  /// victim (one round of up to 2p attempts).
+  Assignment pick(std::size_t proc, double) override {
+    int u = -1;
+    bool stolen = false;
+    if (!deque_[proc].empty()) {
+      u = deque_[proc].back();
+      deque_[proc].pop_back();
+    } else {
+      const std::size_t np = core_->machine().num_processors();
+      for (std::size_t tries = 0; tries < 2 * np && u < 0; ++tries) {
+        const std::size_t victim = rng_.below(np);
+        if (victim != proc && !deque_[victim].empty()) {
+          u = deque_[victim].front();
+          deque_[victim].pop_front();
+          stolen = true;
+          ++core_->stats().steals;
+        }
+      }
+      // Deterministic sweep so an unlucky random round cannot strand a
+      // ready unit with every processor idle (the simulator has no
+      // retry tick).
+      for (std::size_t victim = 0; victim < np && u < 0; ++victim)
+        if (victim != proc && !deque_[victim].empty()) {
+          u = deque_[victim].front();
+          deque_[victim].pop_front();
+          stolen = true;
+          ++core_->stats().steals;
+        }
     }
+    if (u < 0) return {};
+    const double dur = core_->unit_work(u) + touch_caches(proc, u) +
+                       (stolen ? opts_.steal_cost : 0.0);
+    return {u, dur};
   }
 
-  void cascade_all(std::vector<VertexId>& cascade, std::vector<int>* ready) {
-    while (!cascade.empty()) {
-      VertexId v = cascade.back();
-      cascade.pop_back();
-      fire_vertex(v, cascade, ready);
-    }
-  }
-
+ private:
   /// Charges context-switch misses for running unit u on processor p;
   /// returns the added latency.
   double touch_caches(std::size_t p, int u) {
     double lat = 0.0;
-    const NodeId root = dec[0].maximal[u];
-    for (std::size_t l = 1; l <= L; ++l) {
-      const int t = owner_at(l, root);
-      if (resident[p][l - 1] == t) continue;
-      resident[p][l - 1] = t;
-      const double s = tree.size_of(dec[l - 1].maximal[t]);
-      stats.misses[l - 1] += s;
-      if (opts.charge_misses) lat += s * m.miss_cost(l);
+    const NodeId root = core_->unit_root(u);
+    for (std::size_t l = 1; l <= core_->num_levels(); ++l) {
+      const Decomposition& d = core_->decomposition(l);
+      const int t = d.owner[root];
+      if (resident_[p][l - 1] == t) continue;
+      resident_[p][l - 1] = t;
+      const double s = core_->tree().size_of(d.maximal[t]);
+      core_->stats().misses[l - 1] += s;
+      if (opts_.charge_misses) lat += s * core_->machine().miss_cost(l);
     }
     return lat;
   }
 
-  void start_unit(std::size_t p, int u, double now, bool stolen) {
-    const double dur =
-        unit_work[u] + touch_caches(p, u) + (stolen ? opts.steal_cost : 0.0);
-    busy_time += dur;
-    if (opts.trace)
-      opts.trace->push_back(TraceEvent{now, now + dur,
-                                       static_cast<std::uint32_t>(p),
-                                       dec[0].maximal[u]});
-    events.push(Ev{now + dur, p, u});
-  }
+  const SchedOptions opts_;
+  SimCore* core_ = nullptr;
 
-  /// Gives each idle processor work: own deque first (LIFO), then steal the
-  /// oldest unit from a random victim (one round of up to p attempts).
-  void dispatch(double now) {
-    std::vector<std::size_t> still_idle;
-    for (std::size_t p : idle) {
-      int u = -1;
-      bool stolen = false;
-      if (!deque_[p].empty()) {
-        u = deque_[p].back();
-        deque_[p].pop_back();
-      } else {
-        const std::size_t np = m.num_processors();
-        for (std::size_t tries = 0; tries < 2 * np && u < 0; ++tries) {
-          const std::size_t victim = rng.below(np);
-          if (victim != p && !deque_[victim].empty()) {
-            u = deque_[victim].front();
-            deque_[victim].pop_front();
-            stolen = true;
-            ++stats.steals;
-          }
-        }
-        // Deterministic sweep so an unlucky random round cannot strand a
-        // ready unit with every processor idle (the simulator has no
-        // retry tick).
-        for (std::size_t victim = 0; victim < np && u < 0; ++victim)
-          if (victim != p && !deque_[victim].empty()) {
-            u = deque_[victim].front();
-            deque_[victim].pop_front();
-            stolen = true;
-            ++stats.steals;
-          }
-      }
-      if (u < 0) {
-        still_idle.push_back(p);
-        continue;
-      }
-      start_unit(p, u, now, stolen);
-    }
-    idle.swap(still_idle);
-  }
-
-  WsStats run() {
-    L = m.num_cache_levels();
-    dec.reserve(L);
-    for (std::size_t l = 1; l <= L; ++l)
-      dec.push_back(decompose(tree, opts.sigma * m.cache_size(l)));
-    const std::size_t U = dec[0].maximal.size();
-    ext.assign(U, 0);
-    unit_work.resize(U);
-    for (std::size_t u = 0; u < U; ++u)
-      unit_work[u] = tree.work_of(dec[0].maximal[u]);
-
-    fired.assign(g.num_vertices(), 0);
-    in_deg.resize(g.num_vertices());
-    for (VertexId v = 0; v < g.num_vertices(); ++v) in_deg[v] = g.in_degree(v);
-    for (VertexId v = 0; v < g.num_vertices(); ++v)
-      for (VertexId w : g.successors(v)) count_edge(v, w, +1, nullptr);
-
-    deque_.resize(m.num_processors());
-    resident.assign(m.num_processors(), std::vector<int>(L, -2));
-    for (std::size_t p = 0; p < m.num_processors(); ++p) idle.push_back(p);
-    stats.misses.assign(L, 0.0);
-    stats.atomic_units = U;
-    for (std::size_t u = 0; u < U; ++u) stats.total_work += unit_work[u];
-
-    // Initial cascade; dependency-free units seed processor 0's deque.
-    std::vector<VertexId> cascade;
-    std::vector<int> ready;
-    for (VertexId v = 0; v < g.num_vertices(); ++v)
-      if (in_deg[v] == 0 && is_control(v)) cascade.push_back(v);
-    cascade_all(cascade, &ready);
-    ready.clear();  // the ext scan below already covers these
-    for (std::size_t u = 0; u < U; ++u)
-      if (ext[u] == 0) deque_[0].push_back(static_cast<int>(u));
-    dispatch(0.0);
-
-    double now = 0.0;
-    std::size_t done = 0;
-    while (!events.empty()) {
-      const Ev ev = events.top();
-      events.pop();
-      now = ev.time;
-      idle.push_back(ev.proc);
-      ++done;
-      // Fire the completed unit's vertices (children first).
-      std::vector<NodeId> stack{dec[0].maximal[ev.unit]}, order;
-      while (!stack.empty()) {
-        NodeId n = stack.back();
-        stack.pop_back();
-        order.push_back(n);
-        for (NodeId c : tree.node(n).children) stack.push_back(c);
-      }
-      for (auto it = order.rbegin(); it != order.rend(); ++it) {
-        fire_vertex(g.enter(*it), cascade, &ready);
-        fire_vertex(g.exit(*it), cascade, &ready);
-      }
-      cascade_all(cascade, &ready);
-      for (int u : ready) deque_[ev.proc].push_back(u);
-      ready.clear();
-      dispatch(now);
-    }
-    NDF_CHECK_MSG(done == U, "WS simulation stalled: " << done << " of " << U
-                                                       << " units completed");
-    stats.makespan = now;
-    for (std::size_t l = 1; l <= L; ++l)
-      stats.miss_cost += stats.misses[l - 1] * m.miss_cost(l);
-    stats.utilization =
-        now > 0 ? busy_time / (double(m.num_processors()) * now) : 1.0;
-    return stats;
-  }
+  std::vector<std::deque<int>> deque_;     // per processor
+  std::vector<std::vector<int>> resident_; // resident_[p][l-1] = task id
+  std::vector<int> ready_;                 // units readied since last pick
+  Rng rng_;
 };
 
 }  // namespace
 
-WsStats run_ws_scheduler(const StrandGraph& g, const Pmh& machine,
-                         const WsOptions& opts) {
-  WsSim sim(g, machine, opts);
-  return sim.run();
+namespace detail {
+void register_ws_scheduler() {
+  register_scheduler(
+      "ws",
+      "randomized work stealing: LIFO deques + footprint-reload model",
+      [](const SchedOptions& opts) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<WsScheduler>(opts);
+      });
+}
+}  // namespace detail
+
+SchedStats run_ws_scheduler(const StrandGraph& g, const Pmh& machine,
+                            const SchedOptions& opts) {
+  return run_scheduler("ws", g, machine, opts);
 }
 
 }  // namespace ndf

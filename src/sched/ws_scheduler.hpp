@@ -1,6 +1,7 @@
 // Randomized work-stealing scheduler baseline (Blumofe-Leiserson style) on
 // the PMH simulator, for the SB-vs-WS locality comparison the paper invokes
-// from [47, 48].
+// from [47, 48]; a policy on the shared core (sched/sim_core.hpp),
+// registered as "ws".
 //
 // Scheduling granularity is the same σM1-maximal atomic unit used by the SB
 // simulator, so makespans and miss counts are directly comparable. Each
@@ -16,34 +17,12 @@
 // scheduler's anchoring avoids.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "nd/graph.hpp"
-#include "pmh/machine.hpp"
-#include "sched/trace.hpp"
+#include "sched/sim_core.hpp"
 
 namespace ndf {
 
-struct WsOptions {
-  double sigma = 1.0 / 3.0;   ///< unit granularity (match the SB run)
-  std::uint64_t seed = 42;    ///< victim-selection seed
-  double steal_cost = 0.0;    ///< fixed latency added to stolen units
-  bool charge_misses = true;  ///< include miss latency in unit durations
-  Trace* trace = nullptr;     ///< optional per-unit execution trace sink
-};
-
-struct WsStats {
-  double makespan = 0.0;
-  double total_work = 0.0;
-  std::vector<double> misses;  ///< per level, as in SbStats
-  double miss_cost = 0.0;
-  std::size_t steals = 0;
-  std::size_t atomic_units = 0;
-  double utilization = 0.0;
-};
-
-WsStats run_ws_scheduler(const StrandGraph& g, const Pmh& machine,
-                         const WsOptions& opts = {});
+/// Equivalent to run_scheduler("ws", g, machine, opts).
+SchedStats run_ws_scheduler(const StrandGraph& g, const Pmh& machine,
+                            const SchedOptions& opts = {});
 
 }  // namespace ndf

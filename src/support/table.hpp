@@ -28,6 +28,11 @@ class Table {
 
   void print(std::ostream& os) const;
 
+  // Structured access (used by the bench harness's JSON mirror).
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

@@ -18,8 +18,8 @@ TEST(SbScheduler, SerialMachineMatchesTotalDuration) {
   SpawnTree t = make_mm_tree(16, 4);
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(1, 3.0 * 8 * 8 * 3, 10));
-  SbOptions opts;
-  const SbStats s = run_sb_scheduler(g, m, opts);
+  SchedOptions opts;
+  const SchedStats s = run_sb_scheduler(g, m, opts);
   // One processor: makespan = work + all distributed miss latency.
   EXPECT_NEAR(s.makespan, s.total_work + s.miss_cost, 1e-6);
   EXPECT_DOUBLE_EQ(s.total_work, g.work());
@@ -30,8 +30,8 @@ TEST(SbScheduler, MissesMatchTheorem1Bound) {
   SpawnTree t = make_trs_tree(32, 4);
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(4, 512, 10));
-  SbOptions opts;
-  const SbStats s = run_sb_scheduler(g, m, opts);
+  SchedOptions opts;
+  const SchedStats s = run_sb_scheduler(g, m, opts);
   // Theorem 1: misses at level j <= Q*(t; σMj). Our accounting charges
   // exactly the anchored footprints, so this holds with the glue slack.
   const double q = parallel_cache_complexity(t, opts.sigma * 512);
@@ -46,7 +46,7 @@ TEST(SbScheduler, SpeedupIsMonotoneAndBounded) {
   double t1 = 0.0;
   for (std::size_t p : {1u, 2u, 4u, 8u}) {
     Pmh m(PmhConfig::flat(p, 256, 5));
-    const SbStats s = run_sb_scheduler(g, m);
+    const SchedStats s = run_sb_scheduler(g, m);
     if (p == 1) t1 = s.makespan;
     const double speedup = t1 / s.makespan;
     EXPECT_GE(speedup, prev * 0.999);  // monotone (allowing fp noise)
@@ -72,7 +72,7 @@ TEST(SbScheduler, RespectsBalancedLowerBound) {
   SpawnTree t = make_mm_tree(32, 4);
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(8, 3 * 16 * 16, 10));
-  const SbStats s = run_sb_scheduler(g, m);
+  const SchedStats s = run_sb_scheduler(g, m);
   // Makespan can't beat perfect balance of work alone.
   EXPECT_GE(s.makespan * 8.0, s.total_work - 1e-6);
 }
@@ -81,7 +81,7 @@ TEST(SbScheduler, TwoTierMachineCompletes) {
   SpawnTree t = make_trs_tree(32, 4);
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::two_tier(2, 4, 256, 4096, 2, 20));
-  const SbStats s = run_sb_scheduler(g, m);
+  const SchedStats s = run_sb_scheduler(g, m);
   EXPECT_GT(s.makespan, 0.0);
   ASSERT_EQ(s.misses.size(), 2u);
   EXPECT_GT(s.misses[1], 0.0);
@@ -93,9 +93,9 @@ TEST(SbScheduler, ChargeMissesOffGivesPureWorkMakespanOnOneProc) {
   SpawnTree t = make_mm_tree(8, 4);
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(1, 256, 100));
-  SbOptions opts;
+  SchedOptions opts;
   opts.charge_misses = false;
-  const SbStats s = run_sb_scheduler(g, m, opts);
+  const SchedStats s = run_sb_scheduler(g, m, opts);
   EXPECT_NEAR(s.makespan, g.work(), 1e-9);
 }
 
@@ -103,7 +103,7 @@ TEST(WsScheduler, CompletesAndConservesWork) {
   SpawnTree t = make_lcs_tree(64, 4);
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(4, 256, 5));
-  const WsStats s = run_ws_scheduler(g, m);
+  const SchedStats s = run_ws_scheduler(g, m);
   EXPECT_DOUBLE_EQ(s.total_work, g.work());
   EXPECT_GT(s.makespan, 0.0);
   EXPECT_GT(s.atomic_units, 0u);
@@ -115,8 +115,8 @@ TEST(WsScheduler, SbHasNoMoreMissesThanWs) {
   SpawnTree t = make_mm_tree(32, 4);
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(8, 3 * 16 * 16, 10));
-  const SbStats sb = run_sb_scheduler(g, m);
-  const WsStats ws = run_ws_scheduler(g, m);
+  const SchedStats sb = run_sb_scheduler(g, m);
+  const SchedStats ws = run_ws_scheduler(g, m);
   EXPECT_LE(sb.misses[0], ws.misses[0] * 1.001);
 }
 
@@ -124,10 +124,10 @@ TEST(WsScheduler, DeterministicForFixedSeed) {
   SpawnTree t = make_trs_tree(32, 4);
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(4, 512, 5));
-  WsOptions o;
+  SchedOptions o;
   o.seed = 7;
-  const WsStats a = run_ws_scheduler(g, m, o);
-  const WsStats b = run_ws_scheduler(g, m, o);
+  const SchedStats a = run_ws_scheduler(g, m, o);
+  const SchedStats b = run_ws_scheduler(g, m, o);
   EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
   EXPECT_EQ(a.steals, b.steals);
 }

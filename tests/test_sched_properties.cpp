@@ -54,7 +54,7 @@ TEST_P(SchedProperty, MissesIndependentOfProcessorCount) {  // S1
   std::vector<double> first;
   for (std::size_t p : {1u, 3u, 8u}) {
     Pmh m(PmhConfig::flat(p, c().M1, 7));
-    const SbStats s = run_sb_scheduler(g, m);
+    const SchedStats s = run_sb_scheduler(g, m);
     if (first.empty())
       first = s.misses;
     else
@@ -79,10 +79,10 @@ TEST_P(SchedProperty, MakespanMonotoneAndSpeedupBounded) {  // S2
 TEST_P(SchedProperty, Theorem1MissBound) {  // S3
   SpawnTree t = c().make();
   StrandGraph g = elaborate(t);
-  SbOptions o;
+  SchedOptions o;
   for (double M1 : {c().M1, 4.0 * c().M1}) {
     Pmh m(PmhConfig::flat(4, M1, 7));
-    const SbStats s = run_sb_scheduler(g, m, o);
+    const SchedStats s = run_sb_scheduler(g, m, o);
     EXPECT_LE(s.misses[0], parallel_cache_complexity(t, o.sigma * M1));
   }
 }
@@ -92,9 +92,9 @@ TEST_P(SchedProperty, TraceConsistentWithStats) {  // S4
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(4, c().M1, 7));
   Trace trace;
-  SbOptions o;
+  SchedOptions o;
   o.trace = &trace;
-  const SbStats s = run_sb_scheduler(g, m, o);
+  const SchedStats s = run_sb_scheduler(g, m, o);
   std::string msg;
   ASSERT_TRUE(validate_trace(trace, m.num_processors(), &msg)) << msg;
   double busy = 0.0;
@@ -118,15 +118,15 @@ TEST_P(SchedProperty, WsDeterministicAndBalanceBounded) {  // S6
   SpawnTree t = c().make();
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(8, c().M1, 7));
-  WsOptions o;
+  SchedOptions o;
   o.seed = 123;
-  const WsStats a = run_ws_scheduler(g, m, o);
-  const WsStats b = run_ws_scheduler(g, m, o);
+  const SchedStats a = run_ws_scheduler(g, m, o);
+  const SchedStats b = run_ws_scheduler(g, m, o);
   EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
   EXPECT_GE(a.makespan * 8.0, a.total_work - 1e-6);
   // Different seeds: still complete, same total work.
   o.seed = 9999;
-  const WsStats d = run_ws_scheduler(g, m, o);
+  const SchedStats d = run_ws_scheduler(g, m, o);
   EXPECT_DOUBLE_EQ(d.total_work, a.total_work);
 }
 
@@ -134,8 +134,8 @@ TEST_P(SchedProperty, TwoTierWsNeverBeatsSbOnUpperLevelMisses) {
   SpawnTree t = c().make();
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::two_tier(2, 4, c().M1 / 4.0, 4.0 * c().M1, 3, 30));
-  const SbStats sb = run_sb_scheduler(g, m);
-  const WsStats ws = run_ws_scheduler(g, m);
+  const SchedStats sb = run_sb_scheduler(g, m);
+  const SchedStats ws = run_ws_scheduler(g, m);
   EXPECT_LE(sb.misses[1], ws.misses[1] * 1.0001) << c().name;
 }
 

@@ -18,9 +18,9 @@ TEST(TraceTest, SbTraceIsValidAndCoversAllUnits) {
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(4, 256, 5));
   Trace trace;
-  SbOptions opts;
+  SchedOptions opts;
   opts.trace = &trace;
-  const SbStats s = run_sb_scheduler(g, m, opts);
+  const SchedStats s = run_sb_scheduler(g, m, opts);
   EXPECT_EQ(trace.size(), s.atomic_units);
   std::string msg;
   EXPECT_TRUE(validate_trace(trace, m.num_processors(), &msg)) << msg;
@@ -35,9 +35,9 @@ TEST(TraceTest, WsTraceIsValid) {
   StrandGraph g = elaborate(t);
   Pmh m(PmhConfig::flat(4, 512, 5));
   Trace trace;
-  WsOptions opts;
+  SchedOptions opts;
   opts.trace = &trace;
-  const WsStats s = run_ws_scheduler(g, m, opts);
+  const SchedStats s = run_ws_scheduler(g, m, opts);
   EXPECT_EQ(trace.size(), s.atomic_units);
   std::string msg;
   EXPECT_TRUE(validate_trace(trace, m.num_processors(), &msg)) << msg;
