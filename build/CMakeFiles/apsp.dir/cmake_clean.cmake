@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsp.dir/examples/apsp.cpp.o"
+  "CMakeFiles/apsp.dir/examples/apsp.cpp.o.d"
+  "apsp"
+  "apsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

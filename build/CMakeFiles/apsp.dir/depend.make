@@ -1,0 +1,2 @@
+# Empty dependencies file for apsp.
+# This may be replaced when dependencies are built.

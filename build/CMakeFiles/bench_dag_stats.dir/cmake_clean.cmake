@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dag_stats.dir/bench/bench_dag_stats.cpp.o"
+  "CMakeFiles/bench_dag_stats.dir/bench/bench_dag_stats.cpp.o.d"
+  "bench_dag_stats"
+  "bench_dag_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dag_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallelizability.dir/bench/bench_parallelizability.cpp.o"
+  "CMakeFiles/bench_parallelizability.dir/bench/bench_parallelizability.cpp.o.d"
+  "bench_parallelizability"
+  "bench_parallelizability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallelizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcc.dir/bench/bench_pcc.cpp.o"
+  "CMakeFiles/bench_pcc.dir/bench/bench_pcc.cpp.o.d"
+  "bench_pcc"
+  "bench_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sb_bounds.dir/bench/bench_sb_bounds.cpp.o"
+  "CMakeFiles/bench_sb_bounds.dir/bench/bench_sb_bounds.cpp.o.d"
+  "bench_sb_bounds"
+  "bench_sb_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sb_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

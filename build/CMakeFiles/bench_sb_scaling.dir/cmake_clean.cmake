@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sb_scaling.dir/bench/bench_sb_scaling.cpp.o"
+  "CMakeFiles/bench_sb_scaling.dir/bench/bench_sb_scaling.cpp.o.d"
+  "bench_sb_scaling"
+  "bench_sb_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sb_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

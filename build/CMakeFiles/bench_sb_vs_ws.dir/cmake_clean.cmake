@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sb_vs_ws.dir/bench/bench_sb_vs_ws.cpp.o"
+  "CMakeFiles/bench_sb_vs_ws.dir/bench/bench_sb_vs_ws.cpp.o.d"
+  "bench_sb_vs_ws"
+  "bench_sb_vs_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sb_vs_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

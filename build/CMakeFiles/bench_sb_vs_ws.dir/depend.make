@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sb_vs_ws.
+# This may be replaced when dependencies are built.

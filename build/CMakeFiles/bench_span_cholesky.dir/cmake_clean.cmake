@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_span_cholesky.dir/bench/bench_span_cholesky.cpp.o"
+  "CMakeFiles/bench_span_cholesky.dir/bench/bench_span_cholesky.cpp.o.d"
+  "bench_span_cholesky"
+  "bench_span_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_span_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

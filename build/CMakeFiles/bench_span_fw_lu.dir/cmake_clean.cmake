@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_span_fw_lu.dir/bench/bench_span_fw_lu.cpp.o"
+  "CMakeFiles/bench_span_fw_lu.dir/bench/bench_span_fw_lu.cpp.o.d"
+  "bench_span_fw_lu"
+  "bench_span_fw_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_span_fw_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_span_lcs.dir/bench/bench_span_lcs.cpp.o"
+  "CMakeFiles/bench_span_lcs.dir/bench/bench_span_lcs.cpp.o.d"
+  "bench_span_lcs"
+  "bench_span_lcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_span_lcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_span_trs.dir/bench/bench_span_trs.cpp.o"
+  "CMakeFiles/bench_span_trs.dir/bench/bench_span_trs.cpp.o.d"
+  "bench_span_trs"
+  "bench_span_trs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_span_trs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

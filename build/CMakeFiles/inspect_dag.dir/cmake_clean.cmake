@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_dag.dir/examples/inspect_dag.cpp.o"
+  "CMakeFiles/inspect_dag.dir/examples/inspect_dag.cpp.o.d"
+  "inspect_dag"
+  "inspect_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/cholesky.cpp" "CMakeFiles/ndf.dir/src/algos/cholesky.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/algos/cholesky.cpp.o.d"
+  "/root/repo/src/algos/fw1d.cpp" "CMakeFiles/ndf.dir/src/algos/fw1d.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/algos/fw1d.cpp.o.d"
+  "/root/repo/src/algos/fw2d.cpp" "CMakeFiles/ndf.dir/src/algos/fw2d.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/algos/fw2d.cpp.o.d"
+  "/root/repo/src/algos/gotoh.cpp" "CMakeFiles/ndf.dir/src/algos/gotoh.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/algos/gotoh.cpp.o.d"
+  "/root/repo/src/algos/lcs.cpp" "CMakeFiles/ndf.dir/src/algos/lcs.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/algos/lcs.cpp.o.d"
+  "/root/repo/src/algos/linalg_types.cpp" "CMakeFiles/ndf.dir/src/algos/linalg_types.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/algos/linalg_types.cpp.o.d"
+  "/root/repo/src/algos/lu.cpp" "CMakeFiles/ndf.dir/src/algos/lu.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/algos/lu.cpp.o.d"
+  "/root/repo/src/algos/matmul.cpp" "CMakeFiles/ndf.dir/src/algos/matmul.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/algos/matmul.cpp.o.d"
+  "/root/repo/src/algos/trs.cpp" "CMakeFiles/ndf.dir/src/algos/trs.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/algos/trs.cpp.o.d"
+  "/root/repo/src/analysis/decompose.cpp" "CMakeFiles/ndf.dir/src/analysis/decompose.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/analysis/decompose.cpp.o.d"
+  "/root/repo/src/analysis/determinacy.cpp" "CMakeFiles/ndf.dir/src/analysis/determinacy.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/analysis/determinacy.cpp.o.d"
+  "/root/repo/src/analysis/ecc.cpp" "CMakeFiles/ndf.dir/src/analysis/ecc.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/analysis/ecc.cpp.o.d"
+  "/root/repo/src/analysis/pcc.cpp" "CMakeFiles/ndf.dir/src/analysis/pcc.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/analysis/pcc.cpp.o.d"
+  "/root/repo/src/nd/dot.cpp" "CMakeFiles/ndf.dir/src/nd/dot.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/nd/dot.cpp.o.d"
+  "/root/repo/src/nd/drs.cpp" "CMakeFiles/ndf.dir/src/nd/drs.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/nd/drs.cpp.o.d"
+  "/root/repo/src/nd/graph.cpp" "CMakeFiles/ndf.dir/src/nd/graph.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/nd/graph.cpp.o.d"
+  "/root/repo/src/nd/lower.cpp" "CMakeFiles/ndf.dir/src/nd/lower.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/nd/lower.cpp.o.d"
+  "/root/repo/src/nd/spawn_tree.cpp" "CMakeFiles/ndf.dir/src/nd/spawn_tree.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/nd/spawn_tree.cpp.o.d"
+  "/root/repo/src/nd/stats.cpp" "CMakeFiles/ndf.dir/src/nd/stats.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/nd/stats.cpp.o.d"
+  "/root/repo/src/nd/validate.cpp" "CMakeFiles/ndf.dir/src/nd/validate.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/nd/validate.cpp.o.d"
+  "/root/repo/src/pmh/machine.cpp" "CMakeFiles/ndf.dir/src/pmh/machine.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/pmh/machine.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "CMakeFiles/ndf.dir/src/runtime/executor.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/runtime/executor.cpp.o.d"
+  "/root/repo/src/sched/greedy_scheduler.cpp" "CMakeFiles/ndf.dir/src/sched/greedy_scheduler.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/sched/greedy_scheduler.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "CMakeFiles/ndf.dir/src/sched/registry.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/sched/registry.cpp.o.d"
+  "/root/repo/src/sched/sb_scheduler.cpp" "CMakeFiles/ndf.dir/src/sched/sb_scheduler.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/sched/sb_scheduler.cpp.o.d"
+  "/root/repo/src/sched/serial_scheduler.cpp" "CMakeFiles/ndf.dir/src/sched/serial_scheduler.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/sched/serial_scheduler.cpp.o.d"
+  "/root/repo/src/sched/sim_core.cpp" "CMakeFiles/ndf.dir/src/sched/sim_core.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/sched/sim_core.cpp.o.d"
+  "/root/repo/src/sched/trace.cpp" "CMakeFiles/ndf.dir/src/sched/trace.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/sched/trace.cpp.o.d"
+  "/root/repo/src/sched/ws_scheduler.cpp" "CMakeFiles/ndf.dir/src/sched/ws_scheduler.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/sched/ws_scheduler.cpp.o.d"
+  "/root/repo/src/support/args.cpp" "CMakeFiles/ndf.dir/src/support/args.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/support/args.cpp.o.d"
+  "/root/repo/src/support/fit.cpp" "CMakeFiles/ndf.dir/src/support/fit.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/support/fit.cpp.o.d"
+  "/root/repo/src/support/summary.cpp" "CMakeFiles/ndf.dir/src/support/summary.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/support/summary.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/ndf.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/ndf.dir/src/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_alignment.dir/examples/sequence_alignment.cpp.o"
+  "CMakeFiles/sequence_alignment.dir/examples/sequence_alignment.cpp.o.d"
+  "sequence_alignment"
+  "sequence_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

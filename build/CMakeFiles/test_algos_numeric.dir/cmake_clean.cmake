@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos_numeric.dir/tests/test_algos_numeric.cpp.o"
+  "CMakeFiles/test_algos_numeric.dir/tests/test_algos_numeric.cpp.o.d"
+  "test_algos_numeric"
+  "test_algos_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

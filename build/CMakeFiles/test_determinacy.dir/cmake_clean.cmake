@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinacy.dir/tests/test_determinacy.cpp.o"
+  "CMakeFiles/test_determinacy.dir/tests/test_determinacy.cpp.o.d"
+  "test_determinacy"
+  "test_determinacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drs.dir/tests/test_drs.cpp.o"
+  "CMakeFiles/test_drs.dir/tests/test_drs.cpp.o.d"
+  "test_drs"
+  "test_drs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

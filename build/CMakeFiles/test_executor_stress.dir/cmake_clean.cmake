@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_stress.dir/tests/test_executor_stress.cpp.o"
+  "CMakeFiles/test_executor_stress.dir/tests/test_executor_stress.cpp.o.d"
+  "test_executor_stress"
+  "test_executor_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fire_semantics.dir/tests/test_fire_semantics.cpp.o"
+  "CMakeFiles/test_fire_semantics.dir/tests/test_fire_semantics.cpp.o.d"
+  "test_fire_semantics"
+  "test_fire_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fire_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

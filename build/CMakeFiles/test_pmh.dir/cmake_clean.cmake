@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmh.dir/tests/test_pmh.cpp.o"
+  "CMakeFiles/test_pmh.dir/tests/test_pmh.cpp.o.d"
+  "test_pmh"
+  "test_pmh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

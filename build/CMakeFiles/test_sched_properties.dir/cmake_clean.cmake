@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_properties.dir/tests/test_sched_properties.cpp.o"
+  "CMakeFiles/test_sched_properties.dir/tests/test_sched_properties.cpp.o.d"
+  "test_sched_properties"
+  "test_sched_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_span.dir/tests/test_span.cpp.o"
+  "CMakeFiles/test_span.dir/tests/test_span.cpp.o.d"
+  "test_span"
+  "test_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

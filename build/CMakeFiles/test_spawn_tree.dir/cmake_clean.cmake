@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spawn_tree.dir/tests/test_spawn_tree.cpp.o"
+  "CMakeFiles/test_spawn_tree.dir/tests/test_spawn_tree.cpp.o.d"
+  "test_spawn_tree"
+  "test_spawn_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spawn_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_args.dir/tests/test_trace_args.cpp.o"
+  "CMakeFiles/test_trace_args.dir/tests/test_trace_args.cpp.o.d"
+  "test_trace_args"
+  "test_trace_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
