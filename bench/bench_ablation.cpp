@@ -2,45 +2,58 @@
 //   A1 — dilation parameter σ (boundedness): capacity vs parallelism.
 //   A2 — allocation exponent α' in gi(S): subcluster provisioning.
 //   A3 — base-case size: span/overhead vs cache-complexity granularity.
+// A1/A2 are thin wrappers over the sweep subsystem's σ and α' axes
+// (src/exp/); A3 is analysis-only (no scheduling) and builds its trees
+// through the same workload registry.
 // Flags: --n=<size> --sched=<policy> (default sb; A1 applies to any
 // registered policy, A2 is sb-specific), --json=<path>.
 #include <cmath>
 
-#include "algos/lcs.hpp"
-#include "algos/trs.hpp"
 #include "analysis/pcc.hpp"
 #include "bench_common.hpp"
+#include "exp/sweep.hpp"
 #include "nd/drs.hpp"
-#include "sched/registry.hpp"
 
 using namespace ndf;
 
 namespace {
 
 void sigma_sweep(bench::Output& out, const std::string& policy,
-                 const std::string& name, const StrandGraph& g,
-                 const Pmh& m) {
-  Table t("A1: sigma sweep — " + name + " on " + m.to_string());
+                 const std::string& name, const std::string& workload,
+                 const std::string& machine) {
+  exp::Scenario sc;
+  sc.name = "ablation/sigma";
+  sc.workloads = {exp::parse_workload(workload)};
+  sc.machines = {machine};
+  sc.policies = {policy};
+  sc.sigmas = {0.1, 0.2, 1.0 / 3.0, 0.5, 0.8};
+  exp::Sweep sweep(std::move(sc));
+  const auto& runs = sweep.run();
+
+  Table t("A1: sigma sweep — " + name + " on " + runs[0].machine_desc);
   t.set_header({"sigma", "makespan", "misses_L1", "utilization"});
-  for (double sigma : {0.1, 0.2, 1.0 / 3.0, 0.5, 0.8}) {
-    SchedOptions o;
-    o.sigma = sigma;
-    const SchedStats s = run_scheduler(policy, g, m, o);
-    t.add_row({sigma, s.makespan, s.misses[0], s.utilization});
-  }
+  for (const exp::RunPoint& r : runs)
+    t.add_row({r.sigma, r.stats.makespan, r.stats.misses[0],
+               r.stats.utilization});
   out.emit(t);
 }
 
 void alpha_sweep(bench::Output& out, const std::string& name,
-                 const StrandGraph& g, const Pmh& m) {
+                 const std::string& workload, const std::string& machine) {
+  exp::Scenario sc;
+  sc.name = "ablation/alpha";
+  sc.workloads = {exp::parse_workload(workload)};
+  sc.machines = {machine};
+  sc.policies = {"sb"};
+  sc.alpha_primes = {0.25, 0.5, 0.75, 1.0};
+  exp::Sweep sweep(std::move(sc));
+  const auto& runs = sweep.run();
+
   Table t("A2: allocation exponent sweep — " + name);
   t.set_header({"alpha'", "makespan", "utilization", "anchors"});
-  for (double a : {0.25, 0.5, 0.75, 1.0}) {
-    SchedOptions o;
-    o.alpha_prime = a;
-    const SchedStats s = run_scheduler("sb", g, m, o);
-    t.add_row({a, s.makespan, s.utilization, (long long)s.anchors});
-  }
+  for (const exp::RunPoint& r : runs)
+    t.add_row({r.alpha_prime, r.stats.makespan, r.stats.utilization,
+               (long long)r.stats.anchors});
   out.emit(t);
 }
 
@@ -48,7 +61,8 @@ void base_sweep(bench::Output& out, std::size_t n) {
   Table t("A3: base-case sweep — TRS n=" + std::to_string(n));
   t.set_header({"base", "strands", "span_ND", "span_NP", "Q*(M=768)"});
   for (std::size_t b : {2, 4, 8, 16}) {
-    SpawnTree tree = make_trs_tree(n, b);
+    exp::WorkloadSpec spec{"trs", n, b, false};
+    SpawnTree tree = exp::build_workload_tree(spec);
     StrandGraph g = elaborate(tree);
     t.add_row({(long long)b, (long long)tree.strand_count(tree.root()),
                g.span(), elaborate(tree, {.np_mode = true}).span(),
@@ -67,20 +81,12 @@ int main(int argc, char** argv) {
   bench::heading("EA ablations",
                  "Design-choice ablations: boundedness sigma, allocation "
                  "exponent, base-case size.");
-  {
-    SpawnTree tree = make_trs_tree(n, 4);
-    StrandGraph g = elaborate(tree);
-    Pmh m(PmhConfig::flat(8, 768, 10));
-    sigma_sweep(out, policy, "TRS n=" + std::to_string(n), g, m);
-    Pmh deep(PmhConfig::two_tier(2, 4, 192, 3072, 3, 30));
-    alpha_sweep(out, "TRS n=" + std::to_string(n), g, deep);
-  }
-  {
-    SpawnTree tree = make_lcs_tree(4 * n, 4);
-    StrandGraph g = elaborate(tree);
-    Pmh m(PmhConfig::flat(8, 256, 10));
-    sigma_sweep(out, policy, "LCS n=" + std::to_string(4 * n), g, m);
-  }
+  sigma_sweep(out, policy, "TRS n=" + std::to_string(n),
+              "trs:n=" + std::to_string(n), "flat8");
+  alpha_sweep(out, "TRS n=" + std::to_string(n),
+              "trs:n=" + std::to_string(n), "deep2x4");
+  sigma_sweep(out, policy, "LCS n=" + std::to_string(4 * n),
+              "lcs:n=" + std::to_string(4 * n), "flat:p=8,m1=256,c1=10");
   base_sweep(out, n);
   std::cout << "Expected shape: very small sigma serializes (capacity), "
                "sigma near 1 overcommits caches without miss benefit in "

@@ -2,25 +2,28 @@
 // αmax = 1 − log_M(1+c); the NP TRS drops to 1 − log_{min{N/M,M}}(1+c),
 // strictly worse when N/M < M, while the ND TRS recovers MM-like αmax.
 // We measure the Q̂α/Q* crossover on both elaborations of the same trees.
-#include "algos/cholesky.hpp"
-#include "algos/lcs.hpp"
-#include "algos/matmul.hpp"
-#include "algos/trs.hpp"
+//
+// Workloads come from the sweep subsystem's registry (src/exp/workload) so
+// the grid here is the same spec strings ndf_sweep accepts; the analysis
+// itself (αmax) has no scheduling component, so this wrapper expands the
+// workload axis only.
 #include "analysis/ecc.hpp"
 #include "bench_common.hpp"
+#include "exp/workload.hpp"
 #include "nd/drs.hpp"
 
 using namespace ndf;
 
 namespace {
 
-template <typename Make>
-void sweep(const std::string& name, Make make,
+void sweep(const std::string& name, const std::string& algo,
            std::initializer_list<std::size_t> sizes, double M) {
   Table t(name + "  (alpha_max at M = " + std::to_string((long long)M) + ")");
   t.set_header({"n", "alpha_ND", "alpha_NP", "gap"});
   for (std::size_t n : sizes) {
-    SpawnTree tree = make(n, 4);
+    const exp::WorkloadSpec spec =
+        exp::parse_workload(algo + ":n=" + std::to_string(n));
+    SpawnTree tree = exp::build_workload_tree(spec);
     StrandGraph nd = elaborate(tree);
     StrandGraph np = elaborate(tree, {.np_mode = true});
     Decomposition d = decompose(tree, M);
@@ -39,11 +42,10 @@ int main() {
       "Claims 2-3: alpha_max(MM) ~ 1 - log_M(1+c); NP TRS loses "
       "parallelizability when N/M < M; ND TRS recovers it.");
   const double M = 3 * 8 * 8;
-  sweep("MM", [](std::size_t n, std::size_t b) { return make_mm_tree(n, b); },
-        {32, 64, 128}, M);
-  sweep("TRS", make_trs_tree, {32, 64, 128}, M);
-  sweep("Cholesky", make_cholesky_tree, {32, 64, 128}, M);
-  sweep("LCS", make_lcs_tree, {128, 256}, 32.0);
+  sweep("MM", "mm", {32, 64, 128}, M);
+  sweep("TRS", "trs", {32, 64, 128}, M);
+  sweep("Cholesky", "cholesky", {32, 64, 128}, M);
+  sweep("LCS", "lcs", {128, 256}, 32.0);
   std::cout << "Expected shape: alpha_ND >= alpha_NP everywhere; the gap is "
                "largest for TRS/Cholesky (the algorithms the NP model "
                "serializes), and MM shows little gap.\n";

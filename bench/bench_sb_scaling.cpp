@@ -4,42 +4,58 @@
 // while NP TRS/Cholesky lose efficiency much earlier). We sweep processor
 // counts and report speedup and efficiency for both elaborations.
 //
+// Thin wrapper over the sweep subsystem: one Scenario per algorithm with
+// the ND and NP elaborations as two workloads and the processor axis as
+// seven flat machines sharing one cache profile — so each elaboration's
+// condensation is built once and reused across the whole p sweep.
+//
 // Flags: --sched=<policy> (default sb — any registry policy can be swept),
 // --json=<path>.
-#include "algos/cholesky.hpp"
-#include "algos/lcs.hpp"
-#include "algos/trs.hpp"
+#include <sstream>
+
 #include "bench_common.hpp"
-#include "nd/drs.hpp"
-#include "sched/registry.hpp"
+#include "exp/sweep.hpp"
 
 using namespace ndf;
 
 namespace {
 
-template <typename Make>
-void sweep(bench::Output& out, const std::string& policy,
-           const std::string& name, Make make, std::size_t n, double M1) {
-  SpawnTree tree = make(n, 4);
-  StrandGraph nd = elaborate(tree);
-  StrandGraph np = elaborate(tree, {.np_mode = true});
+const std::size_t kProcs[] = {1, 2, 4, 8, 16, 32, 64};
 
-  Table t(name + " n=" + std::to_string(n) +
-          ": " + policy + " speedup vs p (flat PMH, M1=" +
-          std::to_string((long long)M1) + ")");
+void sweep(bench::Output& out, const std::string& policy,
+           const std::string& name, const std::string& algo, std::size_t n,
+           double M1) {
+  exp::Scenario sc;
+  sc.name = "sb_scaling/" + name;
+  std::ostringstream nd, np;
+  nd << algo << ":n=" << n;
+  np << algo << ":n=" << n << ",np";
+  sc.workloads = {exp::parse_workload(nd.str()), exp::parse_workload(np.str())};
+  for (std::size_t p : kProcs) {
+    std::ostringstream m;
+    m << "flat:p=" << p << ",m1=" << M1 << ",c1=10";
+    sc.machines.push_back(m.str());
+  }
+  sc.policies = {policy};
+  exp::Sweep sw(std::move(sc));
+  const auto& runs = sw.run();
+  // Grid order is workload-major: runs[m] is ND on machine m, runs[P + m]
+  // is NP on machine m.
+  const std::size_t P = std::size(kProcs);
+
+  Table t(name + " n=" + std::to_string(n) + ": " + policy +
+          " speedup vs p (flat PMH, M1=" + std::to_string((long long)M1) +
+          ")");
   t.set_header({"p", "T_ND", "T_NP", "speedup_ND", "speedup_NP", "eff_ND",
                 "eff_NP"});
-  double t1_nd = 0, t1_np = 0;
-  for (std::size_t p : {1, 2, 4, 8, 16, 32, 64}) {
-    Pmh m(PmhConfig::flat(p, M1, 10));
-    const double ms_nd = run_scheduler(policy, nd, m).makespan;
-    const double ms_np = run_scheduler(policy, np, m).makespan;
-    if (p == 1) {
-      t1_nd = ms_nd;
-      t1_np = ms_np;
-    }
-    t.add_row({(long long)p, ms_nd, ms_np, t1_nd / ms_nd, t1_np / ms_np,
-               t1_nd / ms_nd / double(p), t1_np / ms_np / double(p)});
+  const double t1_nd = runs[0].stats.makespan;
+  const double t1_np = runs[P].stats.makespan;
+  for (std::size_t i = 0; i < P; ++i) {
+    const double p = double(kProcs[i]);
+    const double ms_nd = runs[i].stats.makespan;
+    const double ms_np = runs[P + i].stats.makespan;
+    t.add_row({(long long)kProcs[i], ms_nd, ms_np, t1_nd / ms_nd,
+               t1_np / ms_np, t1_nd / ms_nd / p, t1_np / ms_np / p});
   }
   out.emit(t);
 }
@@ -54,9 +70,9 @@ int main(int argc, char** argv) {
                  "Sec. 1+4: SB schedulers exploit the ND model's extra "
                  "parallelizability — ND keeps near-linear speedup to "
                  "larger p; NP TRS/Cholesky flatten early.");
-  sweep(out, policy, "TRS", make_trs_tree, 128, 3 * 16 * 16);
-  sweep(out, policy, "Cholesky", make_cholesky_tree, 128, 3 * 16 * 16);
-  sweep(out, policy, "LCS", make_lcs_tree, 512, 64);
+  sweep(out, policy, "TRS", "trs", 128, 3 * 16 * 16);
+  sweep(out, policy, "Cholesky", "cholesky", 128, 3 * 16 * 16);
+  sweep(out, policy, "LCS", "lcs", 512, 64);
   std::cout << "Expected shape: eff_ND stays near 1 to higher p than "
                "eff_NP; the gap widens with p (who wins: ND, by a growing "
                "factor).\n";

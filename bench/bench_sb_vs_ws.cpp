@@ -2,18 +2,19 @@
 // stealing scatters footprints (the empirical motivation from [47, 48]).
 // Same DAGs, same machine, same atomic units; compare misses and makespan.
 //
+// Thin wrapper over the sweep subsystem (src/exp/): each comparison block
+// is a one-workload × one-machine × N-policy Scenario, so the workload's
+// condensation is built once and shared by every policy instead of being
+// rebuilt per run. `ndf_sweep` runs the same grids (and arbitrary others)
+// with consolidated output.
+//
 // Flags: --sched=sb,ws[,greedy,serial] (policies from the registry; the
 // first is the ratio baseline), --json=<path>.
 #include <algorithm>
 #include <cctype>
 
-#include "algos/cholesky.hpp"
-#include "algos/lcs.hpp"
-#include "algos/matmul.hpp"
-#include "algos/trs.hpp"
 #include "bench_common.hpp"
-#include "nd/drs.hpp"
-#include "sched/registry.hpp"
+#include "exp/sweep.hpp"
 
 using namespace ndf;
 
@@ -24,17 +25,21 @@ std::string upper(std::string s) {
   return s;
 }
 
-template <typename Make>
 void compare(bench::Output& out, const std::vector<std::string>& policies,
-             const std::string& name, Make make, std::size_t n,
-             const Pmh& m) {
-  SpawnTree tree = make(n, 4);
-  StrandGraph g = elaborate(tree);
-  std::vector<SchedStats> stats;
-  for (const std::string& p : policies)
-    stats.push_back(run_scheduler(p, g, m));
+             const std::string& name, const std::string& workload,
+             const std::string& machine) {
+  exp::Scenario sc;
+  sc.name = "sb_vs_ws/" + name;
+  sc.workloads = {exp::parse_workload(workload)};
+  sc.machines = {machine};
+  sc.policies = policies;
+  exp::Sweep sweep(std::move(sc));
+  const std::vector<exp::RunPoint>& runs = sweep.run();
+  // One workload × one machine × one σ: runs arrive in policy order.
+  const std::size_t levels = runs[0].stats.misses.size();
 
-  Table t(name + " n=" + std::to_string(n) + " on " + m.to_string());
+  Table t(name + " n=" + std::to_string(runs[0].workload.n) + " on " +
+          runs[0].machine_desc);
   std::vector<std::string> header{"metric"};
   for (const std::string& p : policies) header.push_back(upper(p));
   for (std::size_t i = 1; i < policies.size(); ++i)
@@ -43,24 +48,26 @@ void compare(bench::Output& out, const std::vector<std::string>& policies,
 
   auto add = [&](const std::string& metric, auto value, auto ratio) {
     std::vector<Cell> row{metric};
-    for (std::size_t i = 0; i < stats.size(); ++i) row.push_back(value(i));
-    for (std::size_t i = 1; i < stats.size(); ++i) row.push_back(ratio(i));
+    for (std::size_t i = 0; i < runs.size(); ++i) row.push_back(value(i));
+    for (std::size_t i = 1; i < runs.size(); ++i) row.push_back(ratio(i));
     t.add_row(std::move(row));
   };
-  for (std::size_t l = 1; l <= m.num_cache_levels(); ++l)
+  for (std::size_t l = 1; l <= levels; ++l)
     add(std::string("misses L") + std::to_string(l),
-        [&](std::size_t i) { return stats[i].misses[l - 1]; },
+        [&](std::size_t i) { return runs[i].stats.misses[l - 1]; },
         [&](std::size_t i) {
-          return stats[i].misses[l - 1] / stats[0].misses[l - 1];
+          return runs[i].stats.misses[l - 1] / runs[0].stats.misses[l - 1];
         });
   add(std::string("miss cost"),
-      [&](std::size_t i) { return stats[i].miss_cost; },
+      [&](std::size_t i) { return runs[i].stats.miss_cost; },
       [&](std::size_t i) {
-        return stats[i].miss_cost / std::max(1.0, stats[0].miss_cost);
+        return runs[i].stats.miss_cost / std::max(1.0, runs[0].stats.miss_cost);
       });
   add(std::string("makespan"),
-      [&](std::size_t i) { return stats[i].makespan; },
-      [&](std::size_t i) { return stats[i].makespan / stats[0].makespan; });
+      [&](std::size_t i) { return runs[i].stats.makespan; },
+      [&](std::size_t i) {
+        return runs[i].stats.makespan / runs[0].stats.makespan;
+      });
   out.emit(t);
 }
 
@@ -75,16 +82,10 @@ int main(int argc, char** argv) {
   bench::heading("E9 sb-vs-ws/locality",
                  "SB's anchoring bounds misses by Q*(sigma*M); random "
                  "stealing reloads scattered footprints ([47,48]).");
-  Pmh flat(PmhConfig::flat(16, 3 * 16 * 16, 10));
-  Pmh deep(PmhConfig::two_tier(4, 4, 3 * 8 * 8, 3 * 32 * 32, 3, 30));
-  compare(out, policies, "MM",
-          [](std::size_t n, std::size_t b) { return make_mm_tree(n, b); }, 64,
-          flat);
-  compare(out, policies, "TRS", make_trs_tree, 64, flat);
-  compare(out, policies, "LCS", make_lcs_tree, 256, flat);
-  compare(out, policies, "MM(2-tier)",
-          [](std::size_t n, std::size_t b) { return make_mm_tree(n, b); }, 64,
-          deep);
+  compare(out, policies, "MM", "mm:n=64", "flat16");
+  compare(out, policies, "TRS", "trs:n=64", "flat16");
+  compare(out, policies, "LCS", "lcs:n=256", "flat16");
+  compare(out, policies, "MM(2-tier)", "mm:n=64", "deep4x4");
   std::cout << "Expected shape: WS/SB miss ratio > 1 (often substantially); "
                "makespan follows when miss costs dominate.\n";
   return 0;

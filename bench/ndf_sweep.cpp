@@ -1,0 +1,155 @@
+// ndf_sweep — the declarative experiment-sweep driver. One binary expands a
+// workload × machine × policy × σ × α' × repeat grid, reuses each
+// workload's condensation across everything that shares it, and emits one
+// consolidated table / JSON / CSV (src/exp/). The per-claim bench binaries
+// (bench_sb_vs_ws, bench_ablation, bench_sb_scaling) are thin wrappers over
+// the same subsystem; this driver is the general tool.
+//
+//   ndf_sweep --workloads='mm:n=64;trs:n=48,np'
+//             --machines='flat16;twotier:s=4,c=4'
+//             --sched=sb,ws,greedy,serial --sigma=0.2,0.33
+//             --repeat=3 --json=SWEEP.json --csv=SWEEP.csv
+//   (one line; wrapped here for readability)
+//
+// Flags:
+//   --workloads=<spec;spec;...>  see src/exp/workload.hpp
+//   --machines=<spec;spec;...>   see src/pmh/presets.hpp
+//   --sched=<name,name,...>      registry policies (default all four)
+//   --sigma=<x,x,...>            dilation values in (0,1), default 1/3
+//   --alpha=<x,x,...>            SB allocation exponents, default 1.0
+//   --repeat=<k> --seed=<s>      seed axis: seeds s..s+k-1 (ws variance)
+//   --json=<path> --csv=<path>   consolidated emitters
+//   --name=<id>                  sweep id in the outputs
+//   --smoke                      small fixed grid for CI (fast)
+//   --list                       print workloads/machines/policies and exit
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "pmh/presets.hpp"
+#include "sched/registry.hpp"
+#include "support/args.hpp"
+
+using namespace ndf;
+
+namespace {
+
+std::vector<double> parse_double_list(const std::string& csv,
+                                      const std::string& flag) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    NDF_CHECK_MSG(end && *end == '\0',
+                  "--" << flag << " entry is not a number: " << item);
+    out.push_back(v);
+  }
+  NDF_CHECK_MSG(!out.empty(), "--" << flag << " list is empty");
+  return out;
+}
+
+void list_everything() {
+  std::cout << "workloads (--workloads=<name>[:n=,base=,np][;...]):\n";
+  for (const auto& w : exp::registered_workloads())
+    std::cout << "  " << w.name << " — " << w.description
+              << " (default n=" << w.default_n << ")\n";
+  std::cout << "\nmachine presets (--machines=<preset or "
+               "flat:p=,m1=,c1= / twotier:s=,c=,m1=,m2=,c1=,c2=>[;...]):\n";
+  for (const auto& m : pmh_presets())
+    std::cout << "  " << m.name << " — " << m.description << "\n";
+  std::cout << "\npolicies (--sched=<name,...>):\n";
+  for (const auto& p : registered_schedulers())
+    std::cout << "  " << p.name << " — " << p.description << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  // Reject unknown flags loudly — a typo'd axis must not run the default
+  // grid and emit a plausible-looking but wrong trajectory artifact.
+  for (const std::string& name : args.names())
+    NDF_CHECK_MSG(name == "workloads" || name == "machines" ||
+                      name == "sched" || name == "sigma" || name == "alpha" ||
+                      name == "repeat" || name == "seed" || name == "json" ||
+                      name == "csv" || name == "name" || name == "smoke" ||
+                      name == "list",
+                  "unknown flag --" << name
+                                    << " (see the header of ndf_sweep.cpp or "
+                                       "--list)");
+  if (args.get("list", false)) {
+    list_everything();
+    return 0;
+  }
+
+  exp::Scenario s;
+  const bool smoke = args.get("smoke", false);
+  if (smoke) {
+    // Small fixed grid CI can afford on every push: three workloads (two
+    // ND, one NP variant), two machine shapes, all four policies, two σ, a
+    // repeat axis for ws variance — 96 runs.
+    s.name = "smoke";
+    s.workloads = exp::parse_workload_list("mm:n=32;lcs:n=128;trs:n=32,np");
+    s.machines = {"flat:p=8,m1=192,c1=10", "deep2x4"};
+    s.policies = {"sb", "ws", "greedy", "serial"};
+    s.sigmas = {1.0 / 3.0, 0.5};
+    s.repeats = 2;
+  }
+  s.name = args.get("name", s.name);
+  if (args.has("workloads"))
+    s.workloads =
+        exp::parse_workload_list(args.get("workloads", std::string()));
+  if (args.has("machines")) {
+    s.machines.clear();
+    std::stringstream ss(args.get("machines", std::string()));
+    std::string item;
+    while (std::getline(ss, item, ';'))
+      if (!item.empty()) s.machines.push_back(item);
+  }
+  if (args.has("sched") || !smoke)
+    s.policies =
+        parse_sched_list(args.get("sched", std::string("sb,ws,greedy,serial")));
+  if (args.has("sigma"))
+    s.sigmas = parse_double_list(args.get("sigma", std::string()), "sigma");
+  if (args.has("alpha"))
+    s.alpha_primes =
+        parse_double_list(args.get("alpha", std::string()), "alpha");
+  const long long repeat = args.get("repeat", (long long)s.repeats);
+  NDF_CHECK_MSG(repeat >= 1, "--repeat must be >= 1, got " << repeat);
+  s.repeats = std::size_t(repeat);
+  s.base_seed = std::uint64_t(args.get("seed", 42LL));
+
+  NDF_CHECK_MSG(!s.workloads.empty(),
+                "no workloads — pass --workloads=... or --smoke "
+                "(--list shows what exists)");
+  NDF_CHECK_MSG(!s.machines.empty(),
+                "no machines — pass --machines=... or --smoke "
+                "(--list shows what exists)");
+
+  exp::Sweep sweep(std::move(s));
+  const auto& runs = sweep.run();
+
+  std::ostringstream title;
+  title << "sweep '" << sweep.scenario().name << "': " << runs.size()
+        << " runs, " << sweep.condensations_built() << " condensations built";
+  exp::results_table(title.str(), runs).print(std::cout);
+
+  const std::string json = args.get("json", std::string());
+  if (!json.empty()) {
+    std::ofstream os(json);
+    NDF_CHECK_MSG(bool(os), "cannot write --json=" << json);
+    exp::write_sweep_json(os, sweep.scenario().name, runs);
+  }
+  const std::string csv = args.get("csv", std::string());
+  if (!csv.empty()) {
+    std::ofstream os(csv);
+    NDF_CHECK_MSG(bool(os), "cannot write --csv=" << csv);
+    exp::write_sweep_csv(os, runs);
+  }
+  return 0;
+}

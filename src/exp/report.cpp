@@ -1,0 +1,160 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace ndf::exp {
+
+namespace {
+
+std::size_t max_levels(const std::vector<RunPoint>& runs) {
+  std::size_t L = 0;
+  for (const RunPoint& r : runs) L = std::max(L, r.stats.misses.size());
+  return L;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_number(std::ostream& os, double d) {
+  if (std::isfinite(d))
+    os << d;
+  else
+    os << "null";  // JSON has no inf/nan
+}
+
+/// RFC-4180 quoting — machine specs contain commas ("flat:p=8,m1=192").
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table results_table(const std::string& title,
+                    const std::vector<RunPoint>& runs) {
+  const std::size_t L = max_levels(runs);
+  Table t(title);
+  std::vector<std::string> header{"workload", "machine", "policy", "sigma",
+                                  "alpha'",   "rep",     "makespan",
+                                  "miss_cost", "util"};
+  for (std::size_t l = 1; l <= L; ++l)
+    header.push_back("misses_L" + std::to_string(l));
+  header.push_back("anchors");
+  header.push_back("steals");
+  t.set_header(std::move(header));
+  for (const RunPoint& r : runs) {
+    std::vector<Cell> row{r.workload.label(),
+                          r.machine,
+                          r.policy,
+                          r.sigma,
+                          r.alpha_prime,
+                          (long long)r.repeat,
+                          r.stats.makespan,
+                          r.stats.miss_cost,
+                          r.stats.utilization};
+    for (std::size_t l = 0; l < L; ++l)
+      if (l < r.stats.misses.size())
+        row.push_back(r.stats.misses[l]);
+      else
+        row.push_back(std::string("-"));
+    row.push_back((long long)r.stats.anchors);
+    row.push_back((long long)r.stats.steals);
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void write_sweep_json(std::ostream& os, const std::string& name,
+                      const std::vector<RunPoint>& runs) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "{\n  \"sweep\": \"" << json_escape(name) << "\",\n  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunPoint& r = runs[i];
+    os << (i ? ",\n" : "\n") << "    {\"workload\": \""
+       << json_escape(r.workload.label()) << "\", \"algo\": \""
+       << json_escape(r.workload.algo) << "\", \"n\": " << r.workload.n
+       << ", \"base\": " << r.workload.base
+       << ", \"np\": " << (r.workload.np ? "true" : "false")
+       << ", \"machine\": \"" << json_escape(r.machine)
+       << "\", \"machine_desc\": \"" << json_escape(r.machine_desc)
+       << "\", \"policy\": \"" << json_escape(r.policy) << "\", \"sigma\": ";
+    write_number(os, r.sigma);
+    os << ", \"alpha_prime\": ";
+    write_number(os, r.alpha_prime);
+    os << ", \"repeat\": " << r.repeat << ", \"seed\": " << r.seed
+       << ", \"stats\": {\"makespan\": ";
+    write_number(os, r.stats.makespan);
+    os << ", \"total_work\": ";
+    write_number(os, r.stats.total_work);
+    os << ", \"miss_cost\": ";
+    write_number(os, r.stats.miss_cost);
+    os << ", \"utilization\": ";
+    write_number(os, r.stats.utilization);
+    os << ", \"atomic_units\": " << r.stats.atomic_units
+       << ", \"anchors\": " << r.stats.anchors
+       << ", \"steals\": " << r.stats.steals << ", \"misses\": [";
+    for (std::size_t l = 0; l < r.stats.misses.size(); ++l) {
+      if (l) os << ", ";
+      write_number(os, r.stats.misses[l]);
+    }
+    os << "]}}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void write_sweep_csv(std::ostream& os, const std::vector<RunPoint>& runs) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  const std::size_t L = max_levels(runs);
+  os << "workload,algo,n,base,np,machine,policy,sigma,alpha_prime,repeat,"
+        "seed,makespan,total_work,miss_cost,utilization,atomic_units,"
+        "anchors,steals";
+  for (std::size_t l = 1; l <= L; ++l) os << ",misses_l" << l;
+  os << "\n";
+  for (const RunPoint& r : runs) {
+    os << csv_field(r.workload.label()) << ',' << r.workload.algo << ','
+       << r.workload.n << ',' << r.workload.base << ','
+       << (r.workload.np ? 1 : 0) << ',' << csv_field(r.machine) << ','
+       << r.policy << ',' << r.sigma << ','
+       << r.alpha_prime << ',' << r.repeat << ',' << r.seed << ','
+       << r.stats.makespan << ',' << r.stats.total_work << ','
+       << r.stats.miss_cost << ',' << r.stats.utilization << ','
+       << r.stats.atomic_units << ',' << r.stats.anchors << ','
+       << r.stats.steals;
+    for (std::size_t l = 0; l < L; ++l) {
+      os << ',';
+      if (l < r.stats.misses.size()) os << r.stats.misses[l];
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace ndf::exp

@@ -1,0 +1,28 @@
+// Consolidated sweep emitters: one stdout table, one JSON document, one
+// CSV — regardless of how many axes the scenario swept. The JSON is the
+// machine-readable trajectory artifact CI validates and uploads
+// (`ndf_sweep --smoke --json=...`); the CSV is the flat form for
+// spreadsheet/pandas post-processing.
+#pragma once
+
+#include <iosfwd>
+
+#include "exp/scenario.hpp"
+#include "support/table.hpp"
+
+namespace ndf::exp {
+
+/// Flat results table: one row per run point, miss columns padded to the
+/// deepest machine in the result set.
+Table results_table(const std::string& title,
+                    const std::vector<RunPoint>& runs);
+
+/// {"sweep": <name>, "runs": [{workload, machine, policy, sigma, ...,
+/// stats: {...}}, ...]} with round-trippable doubles.
+void write_sweep_json(std::ostream& os, const std::string& name,
+                      const std::vector<RunPoint>& runs);
+
+/// One header row + one row per run point; misses padded like the table.
+void write_sweep_csv(std::ostream& os, const std::vector<RunPoint>& runs);
+
+}  // namespace ndf::exp

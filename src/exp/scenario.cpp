@@ -1,0 +1,68 @@
+#include "exp/scenario.hpp"
+
+#include "pmh/presets.hpp"
+#include "sched/registry.hpp"
+
+namespace ndf::exp {
+
+std::size_t grid_size(const Scenario& s) {
+  return s.workloads.size() * s.sigmas.size() * s.machines.size() *
+         s.alpha_primes.size() * s.policies.size() * s.repeats;
+}
+
+std::vector<GridPoint> expand_grid(const Scenario& s) {
+  std::vector<GridPoint> out;
+  out.reserve(grid_size(s));
+  for (std::size_t w = 0; w < s.workloads.size(); ++w)
+    for (std::size_t g = 0; g < s.sigmas.size(); ++g)
+      for (std::size_t m = 0; m < s.machines.size(); ++m)
+        for (std::size_t a = 0; a < s.alpha_primes.size(); ++a)
+          for (std::size_t p = 0; p < s.policies.size(); ++p)
+            for (std::size_t r = 0; r < s.repeats; ++r)
+              out.push_back({w, g, m, a, p, r});
+  return out;
+}
+
+void validate(const Scenario& s) {
+  NDF_CHECK_MSG(!s.workloads.empty(), "scenario '" << s.name
+                                                   << "' has no workloads");
+  NDF_CHECK_MSG(!s.machines.empty(), "scenario '" << s.name
+                                                  << "' has no machines");
+  NDF_CHECK_MSG(!s.policies.empty(), "scenario '" << s.name
+                                                  << "' has no policies");
+  NDF_CHECK_MSG(!s.sigmas.empty(), "scenario '" << s.name
+                                                << "' has no sigma values");
+  NDF_CHECK_MSG(!s.alpha_primes.empty(),
+                "scenario '" << s.name << "' has no alpha' values");
+  NDF_CHECK_MSG(s.repeats >= 1, "scenario '" << s.name
+                                             << "' needs repeats >= 1");
+  for (const std::string& p : s.policies)
+    NDF_CHECK_MSG(scheduler_registered(p),
+                  "scenario '" << s.name << "' names unknown policy '" << p
+                               << "'");
+  // Machine specs fail here, at validation time, with the parser's message
+  // (unknown preset/family/key) rather than mid-construction.
+  for (const std::string& spec : s.machines) (void)parse_pmh(spec);
+  for (double sigma : s.sigmas)
+    NDF_CHECK_MSG(sigma > 0.0 && sigma < 1.0,
+                  "scenario '" << s.name << "' has sigma " << sigma
+                               << " outside (0, 1)");
+  // α' = min{αmax, 1} with αmax in (0, 1): outside (0, 1] the allocation
+  // g(S) = f·(3S/M)^α' degenerates (α'=0 pins it, α'<0 explodes).
+  for (double a : s.alpha_primes)
+    NDF_CHECK_MSG(a > 0.0 && a <= 1.0, "scenario '" << s.name
+                                                    << "' has alpha' " << a
+                                                    << " outside (0, 1]");
+}
+
+SchedOptions point_options(const Scenario& s, const GridPoint& g) {
+  SchedOptions o;
+  o.sigma = s.sigmas[g.sigma];
+  o.alpha_prime = s.alpha_primes[g.alpha];
+  o.charge_misses = s.charge_misses;
+  o.steal_cost = s.steal_cost;
+  o.seed = s.base_seed + g.repeat;
+  return o;
+}
+
+}  // namespace ndf::exp

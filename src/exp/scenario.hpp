@@ -1,0 +1,74 @@
+// Declarative sweep description: the full experiment grid
+//
+//   workloads × sigmas × machines × alpha' × policies × repeats
+//
+// and its deterministic expansion order. The order is chosen so that
+// everything sharing one condensation (a workload at a σ, across machines
+// with the same cache-size profile, all policies, all repeats) is
+// contiguous — the Sweep runner walks the expansion linearly and builds
+// each CondensedDag exactly once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/workload.hpp"
+#include "sched/sim_core.hpp"
+
+namespace ndf::exp {
+
+struct Scenario {
+  std::string name = "sweep";
+  std::vector<WorkloadSpec> workloads;
+  std::vector<std::string> machines;  ///< pmh specs (pmh/presets.hpp)
+  std::vector<std::string> policies;  ///< registry names (sched/registry.hpp)
+  std::vector<double> sigmas{1.0 / 3.0};
+  std::vector<double> alpha_primes{1.0};
+  std::size_t repeats = 1;        ///< seed axis: seeds base_seed..+repeats-1
+  std::uint64_t base_seed = 42;   ///< seed of repeat 0
+  bool charge_misses = true;
+  double steal_cost = 0.0;
+};
+
+/// One grid point, as indices into the scenario's axes (repeat is the
+/// 0-based repeat number).
+struct GridPoint {
+  std::size_t workload = 0;
+  std::size_t sigma = 0;
+  std::size_t machine = 0;
+  std::size_t alpha = 0;
+  std::size_t policy = 0;
+  std::size_t repeat = 0;
+};
+
+/// |workloads| · |sigmas| · |machines| · |alpha_primes| · |policies| ·
+/// repeats.
+std::size_t grid_size(const Scenario& s);
+
+/// Expands the grid in condensation-friendly order: workload-major, then
+/// sigma, machine, alpha', policy, repeat (innermost).
+std::vector<GridPoint> expand_grid(const Scenario& s);
+
+/// Checks every axis is non-empty and every policy name is registered.
+/// (Workload and machine specs are validated by their parsers when the
+/// scenario is built from strings.) Throws CheckError otherwise.
+void validate(const Scenario& s);
+
+/// Scheduler options for one grid point.
+SchedOptions point_options(const Scenario& s, const GridPoint& g);
+
+/// One executed grid point: the resolved coordinates plus the run's stats.
+struct RunPoint {
+  WorkloadSpec workload;
+  std::string machine;       ///< the spec string the scenario named
+  std::string machine_desc;  ///< Pmh::to_string() of the built machine
+  std::string policy;
+  double sigma = 1.0 / 3.0;
+  double alpha_prime = 1.0;
+  std::size_t repeat = 0;
+  std::uint64_t seed = 42;
+  SchedStats stats;
+};
+
+}  // namespace ndf::exp

@@ -1,0 +1,89 @@
+#include "exp/sweep.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "pmh/presets.hpp"
+#include "sched/condensed_dag.hpp"
+#include "sched/registry.hpp"
+
+namespace ndf::exp {
+
+const std::vector<RunPoint>& Sweep::run() {
+  if (ran_) return results_;
+  // A retry after a mid-grid throw starts from scratch, not from the
+  // partial results the failed attempt accumulated.
+  results_.clear();
+  condensations_ = 0;
+  validate(scenario_);
+
+  std::vector<Pmh> machines;
+  machines.reserve(scenario_.machines.size());
+  for (const std::string& spec : scenario_.machines)
+    machines.push_back(make_pmh(spec));
+
+  results_.reserve(grid_size(scenario_));
+  const std::vector<GridPoint> grid = expand_grid(scenario_);
+
+  // Condensation cache for the current (workload, σ): one entry per
+  // distinct cache-size profile among the machines. The grid is expanded
+  // workload-major then σ, so the cache resets exactly when the key
+  // changes and never holds more than one workload's dags.
+  std::unique_ptr<Workload> workload;
+  std::size_t cur_w = std::size_t(-1), cur_s = std::size_t(-1);
+  std::vector<std::pair<std::vector<double>, std::unique_ptr<CondensedDag>>>
+      dags;
+
+  for (const GridPoint& g : grid) {
+    if (g.workload != cur_w) {
+      // Drop the cached dags BEFORE the workload they point into dies.
+      dags.clear();
+      workload = std::make_unique<Workload>(scenario_.workloads[g.workload]);
+      cur_w = g.workload;
+      cur_s = std::size_t(-1);
+    }
+    if (g.sigma != cur_s) {
+      dags.clear();
+      cur_s = g.sigma;
+    }
+    const Pmh& m = machines[g.machine];
+    std::vector<double> sizes = level_cache_sizes(m);
+    const CondensedDag* dag = nullptr;
+    for (const auto& [key, d] : dags)
+      if (key == sizes) {
+        dag = d.get();
+        break;
+      }
+    if (!dag) {
+      dags.emplace_back(sizes,
+                        std::make_unique<CondensedDag>(
+                            workload->graph(), sizes,
+                            scenario_.sigmas[g.sigma]));
+      dag = dags.back().second.get();
+      ++condensations_;
+    }
+
+    const SchedOptions opts = point_options(scenario_, g);
+    const auto policy = make_scheduler(scenario_.policies[g.policy], opts);
+    SimCore core(*dag, m, opts);
+
+    RunPoint pt;
+    pt.workload = scenario_.workloads[g.workload];
+    pt.machine = scenario_.machines[g.machine];
+    pt.machine_desc = m.to_string();
+    pt.policy = scenario_.policies[g.policy];
+    pt.sigma = opts.sigma;
+    pt.alpha_prime = opts.alpha_prime;
+    pt.repeat = g.repeat;
+    pt.seed = opts.seed;
+    pt.stats = core.run(*policy);
+    results_.push_back(std::move(pt));
+  }
+  // Only a completed grid counts as run: a throw above (bad scenario, bad
+  // machine spec) must not poison this object into returning a partial or
+  // empty result set as if the sweep succeeded.
+  ran_ = true;
+  return results_;
+}
+
+}  // namespace ndf::exp

@@ -1,0 +1,146 @@
+#include "exp/workload.hpp"
+
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "algos/cholesky.hpp"
+#include "algos/fw1d.hpp"
+#include "algos/fw2d.hpp"
+#include "algos/gotoh.hpp"
+#include "algos/lcs.hpp"
+#include "algos/lu.hpp"
+#include "algos/matmul.hpp"
+#include "algos/trs.hpp"
+
+namespace ndf::exp {
+
+namespace {
+
+struct Builder {
+  std::string description;
+  std::size_t default_n;
+  std::function<SpawnTree(std::size_t, std::size_t)> make;
+};
+
+const std::map<std::string, Builder>& builders() {
+  static const std::map<std::string, Builder> t = {
+      {"mm", {"blocked matrix multiply", 64, make_mm_tree}},
+      {"trs", {"triangular solve", 64, make_trs_tree}},
+      {"cholesky", {"Cholesky factorization", 64, make_cholesky_tree}},
+      {"lu", {"LU factorization", 64, make_lu_tree}},
+      {"lcs", {"longest common subsequence", 256, make_lcs_tree}},
+      {"gotoh", {"Gotoh affine-gap alignment", 128, make_gotoh_tree}},
+      {"fw1d", {"Floyd-Warshall, 1-D decomposition", 64, make_fw1d_tree}},
+      {"fw2d", {"Floyd-Warshall, 2-D decomposition", 64, make_fw2d_tree}},
+  };
+  return t;
+}
+
+std::string known_workloads() {
+  std::string s;
+  for (const auto& [name, b] : builders()) {
+    if (!s.empty()) s += ", ";
+    s += name;
+  }
+  return s;
+}
+
+std::size_t parse_size(const std::string& spec, const std::string& key,
+                       const std::string& val) {
+  char* end = nullptr;
+  const long long v = std::strtoll(val.c_str(), &end, 10);
+  NDF_CHECK_MSG(end && *end == '\0' && !val.empty() && v > 0,
+                "workload parameter '" << key << "' in '" << spec
+                                       << "' is not a positive integer: "
+                                       << val);
+  return std::size_t(v);
+}
+
+}  // namespace
+
+std::string WorkloadSpec::label() const {
+  std::ostringstream os;
+  os << algo << ":n=" << n;
+  if (base != 4) os << ",base=" << base;
+  if (np) os << ",np";
+  return os.str();
+}
+
+std::vector<WorkloadInfo> registered_workloads() {
+  std::vector<WorkloadInfo> out;
+  for (const auto& [name, b] : builders())
+    out.push_back({name, b.description, b.default_n});
+  return out;  // std::map iterates sorted by name
+}
+
+WorkloadSpec parse_workload(const std::string& spec) {
+  WorkloadSpec w;
+  const auto colon = spec.find(':');
+  w.algo = spec.substr(0, colon);
+  const auto it = builders().find(w.algo);
+  NDF_CHECK_MSG(it != builders().end(),
+                "unknown workload '" << w.algo << "' in '" << spec
+                                     << "' (registered: " << known_workloads()
+                                     << ")");
+  w.n = it->second.default_n;
+  if (colon != std::string::npos) {
+    std::stringstream ss(spec.substr(colon + 1));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) continue;
+      if (item == "np") {
+        w.np = true;
+        continue;
+      }
+      const auto eq = item.find('=');
+      NDF_CHECK_MSG(eq != std::string::npos && eq > 0,
+                    "bad workload parameter '" << item << "' in '" << spec
+                                               << "' (want key=value or np)");
+      const std::string key = item.substr(0, eq);
+      const std::string val = item.substr(eq + 1);
+      if (key == "n") {
+        w.n = parse_size(spec, key, val);
+      } else if (key == "base") {
+        w.base = parse_size(spec, key, val);
+      } else if (key == "np") {
+        NDF_CHECK_MSG(val == "0" || val == "1",
+                      "workload parameter np in '" << spec << "' must be 0/1");
+        w.np = val == "1";
+      } else {
+        NDF_CHECK_MSG(false, "unknown workload parameter '"
+                                 << key << "' in '" << spec
+                                 << "' (valid: n, base, np)");
+      }
+    }
+  }
+  return w;
+}
+
+std::vector<WorkloadSpec> parse_workload_list(const std::string& specs) {
+  std::vector<WorkloadSpec> out;
+  std::stringstream ss(specs);
+  std::string item;
+  while (std::getline(ss, item, ';'))
+    if (!item.empty()) out.push_back(parse_workload(item));
+  return out;
+}
+
+SpawnTree build_workload_tree(const WorkloadSpec& spec) {
+  const auto it = builders().find(spec.algo);
+  NDF_CHECK_MSG(it != builders().end(),
+                "unknown workload '" << spec.algo
+                                     << "' (registered: " << known_workloads()
+                                     << ")");
+  NDF_CHECK_MSG(spec.n > 0, "workload '" << spec.algo << "' needs n > 0");
+  return it->second.make(spec.n, spec.base);
+}
+
+Workload::Workload(WorkloadSpec spec)
+    : spec_(std::move(spec)),
+      tree_(std::make_unique<SpawnTree>(build_workload_tree(spec_))),
+      graph_(std::make_unique<StrandGraph>(
+          elaborate(*tree_, {.np_mode = spec_.np}))) {}
+
+}  // namespace ndf::exp

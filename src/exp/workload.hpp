@@ -1,0 +1,69 @@
+// Named workload registry and spec parser for the sweep subsystem: every
+// algorithm builder from src/algos/ is addressable by string, the way
+// policies and machines are. A spec is
+//
+//   <algo>[:n=<size>[,base=<base>][,np]]      e.g. "mm:n=64", "trs:n=48,np"
+//
+// `np` selects the nested-parallel elaboration (the paper's comparison
+// baseline) instead of the nested-dataflow one. Specs round-trip through
+// WorkloadSpec::label(), which is the key used in sweep tables and JSON.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nd/drs.hpp"
+#include "nd/spawn_tree.hpp"
+
+namespace ndf::exp {
+
+struct WorkloadSpec {
+  std::string algo;      ///< registry key ("mm", "trs", "cholesky", ...)
+  std::size_t n = 0;     ///< problem size (0 = the algo's default)
+  std::size_t base = 4;  ///< base-case size
+  bool np = false;       ///< nested-parallel elaboration instead of ND
+
+  /// Canonical spec string, e.g. "mm:n=64" or "trs:n=48,np"
+  /// (base is printed only when it differs from the default 4).
+  std::string label() const;
+};
+
+struct WorkloadInfo {
+  std::string name;
+  std::string description;
+  std::size_t default_n;
+};
+
+/// All registered workloads, sorted by name.
+std::vector<WorkloadInfo> registered_workloads();
+
+/// Parses one spec; throws CheckError on unknown algos (listing the
+/// registered names) or malformed parameters. Fills the algo's default n
+/// when the spec omits it.
+WorkloadSpec parse_workload(const std::string& spec);
+
+/// Parses a semicolon-separated spec list ("mm:n=64;trs:n=48,np").
+/// Empty input yields an empty list.
+std::vector<WorkloadSpec> parse_workload_list(const std::string& specs);
+
+/// Builds just the spawn tree of a spec (for analysis-only consumers).
+SpawnTree build_workload_tree(const WorkloadSpec& spec);
+
+/// A built workload: the spawn tree and its elaborated strand DAG, with
+/// the tree ownership the graph's internal pointer requires.
+class Workload {
+ public:
+  explicit Workload(WorkloadSpec spec);
+
+  const WorkloadSpec& spec() const { return spec_; }
+  const SpawnTree& tree() const { return *tree_; }
+  const StrandGraph& graph() const { return *graph_; }
+
+ private:
+  WorkloadSpec spec_;
+  std::unique_ptr<SpawnTree> tree_;
+  std::unique_ptr<StrandGraph> graph_;
+};
+
+}  // namespace ndf::exp

@@ -1,0 +1,164 @@
+#include "pmh/presets.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace ndf {
+
+namespace {
+
+struct Preset {
+  std::string description;
+  PmhConfig config;
+};
+
+// The machines the experiment suite compares on. Sizes follow the benches:
+// 3·b² words holds three b×b blocks (the MM working set at base b).
+const std::map<std::string, Preset>& presets() {
+  static const std::map<std::string, Preset> t = {
+      {"flat8", {"8 processors, private 768-word caches, C=10",
+                 PmhConfig::flat(8, 768, 10)}},
+      {"flat16", {"16 processors, private 768-word caches, C=10",
+                  PmhConfig::flat(16, 768, 10)}},
+      {"flat64", {"64 processors, private 768-word caches, C=10",
+                  PmhConfig::flat(64, 768, 10)}},
+      {"deep2x4", {"2 sockets x 4 cores, 192-word L1 (C=3), 3072-word L2 "
+                   "(C=30)",
+                   PmhConfig::two_tier(2, 4, 192, 3072, 3, 30)}},
+      {"deep4x4", {"4 sockets x 4 cores, 192-word L1 (C=3), 3072-word L2 "
+                   "(C=30)",
+                   PmhConfig::two_tier(4, 4, 192, 3072, 3, 30)}},
+  };
+  return t;
+}
+
+std::string preset_names() {
+  std::string s;
+  for (const auto& [name, p] : presets()) {
+    if (!s.empty()) s += ", ";
+    s += name;
+  }
+  return s;
+}
+
+/// Parses "k1=v1,k2=v2" with every key validated against `allowed` (a
+/// defaults map that doubles as the schema).
+std::map<std::string, double> parse_params(
+    const std::string& family, const std::string& body,
+    const std::map<std::string, double>& allowed) {
+  std::map<std::string, double> out = allowed;
+  std::string valid;
+  for (const auto& [k, v] : allowed) {
+    (void)v;
+    if (!valid.empty()) valid += ", ";
+    valid += k;
+  }
+  std::stringstream ss(body);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    NDF_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "bad machine parameter '" << item << "' in '" << family
+                                            << ":" << body
+                                            << "' (want key=value)");
+    const std::string key = item.substr(0, eq);
+    NDF_CHECK_MSG(allowed.count(key), "unknown machine parameter '"
+                                          << key << "' for '" << family
+                                          << "' (valid: " << valid << ")");
+    char* end = nullptr;
+    const std::string val = item.substr(eq + 1);
+    out[key] = std::strtod(val.c_str(), &end);
+    NDF_CHECK_MSG(end && *end == '\0' && !val.empty(),
+                  "machine parameter '" << key << "' is not a number: "
+                                        << val);
+  }
+  return out;
+}
+
+/// Count-valued parameters (processors, sockets, cores) must be positive
+/// integers: a negative double→size_t cast is UB and a fractional count
+/// would truncate silently.
+std::size_t as_count(const std::string& family, const std::string& key,
+                     double v) {
+  // 2^30 caps the tree: beyond it the double→size_t cast risks UB and the
+  // simulator could never allocate per-processor state anyway.
+  NDF_CHECK_MSG(v >= 1.0 && v == std::floor(v) && v <= double(1 << 30),
+                "machine parameter '" << key << "' for '" << family
+                                      << "' must be a positive integer <= 2^30"
+                                         ", got "
+                                      << v);
+  return std::size_t(v);
+}
+
+/// Cache sizes must be positive (σM = 0 degenerates the decomposition) and
+/// miss costs non-negative; reject here so a bad sweep spec fails at parse
+/// time with the parameter name, not mid-grid with an invariant message.
+double as_size(const std::string& family, const std::string& key, double v) {
+  NDF_CHECK_MSG(v > 0.0, "machine parameter '" << key << "' for '" << family
+                                               << "' must be > 0, got " << v);
+  return v;
+}
+
+double as_cost(const std::string& family, const std::string& key, double v) {
+  NDF_CHECK_MSG(v >= 0.0, "machine parameter '"
+                              << key << "' for '" << family
+                              << "' must be >= 0, got " << v);
+  return v;
+}
+
+}  // namespace
+
+std::vector<PmhPresetInfo> pmh_presets() {
+  std::vector<PmhPresetInfo> out;
+  for (const auto& [name, p] : presets()) out.push_back({name, p.description});
+  return out;  // std::map iterates sorted by name
+}
+
+PmhConfig parse_pmh(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    const auto it = presets().find(spec);
+    NDF_CHECK_MSG(it != presets().end(),
+                  "unknown machine preset '"
+                      << spec << "' (presets: " << preset_names()
+                      << "; parametric: flat:p=,m1=,c1= or "
+                         "twotier:s=,c=,m1=,m2=,c1=,c2=)");
+    return it->second.config;
+  }
+  const std::string family = spec.substr(0, colon);
+  const std::string body = spec.substr(colon + 1);
+  if (family == "flat") {
+    const auto kv = parse_params(family, body,
+                                 {{"p", 8}, {"m1", 768}, {"c1", 10}});
+    return PmhConfig::flat(as_count(family, "p", kv.at("p")),
+                           as_size(family, "m1", kv.at("m1")),
+                           as_cost(family, "c1", kv.at("c1")));
+  }
+  if (family == "twotier") {
+    const auto kv = parse_params(family, body,
+                                 {{"s", 2},
+                                  {"c", 4},
+                                  {"m1", 192},
+                                  {"m2", 3072},
+                                  {"c1", 3},
+                                  {"c2", 30}});
+    return PmhConfig::two_tier(as_count(family, "s", kv.at("s")),
+                               as_count(family, "c", kv.at("c")),
+                               as_size(family, "m1", kv.at("m1")),
+                               as_size(family, "m2", kv.at("m2")),
+                               as_cost(family, "c1", kv.at("c1")),
+                               as_cost(family, "c2", kv.at("c2")));
+  }
+  NDF_CHECK_MSG(false, "unknown machine family '"
+                           << family << "' in '" << spec
+                           << "' (families: flat, twotier; presets: "
+                           << preset_names() << ")");
+  return {};  // unreachable
+}
+
+Pmh make_pmh(const std::string& spec) { return Pmh(parse_pmh(spec)); }
+
+}  // namespace ndf

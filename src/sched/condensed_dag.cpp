@@ -1,0 +1,72 @@
+#include "sched/condensed_dag.hpp"
+
+#include <atomic>
+
+#include "pmh/machine.hpp"
+
+namespace ndf {
+
+namespace {
+std::atomic<std::size_t> g_builds{0};
+}  // namespace
+
+std::vector<double> level_cache_sizes(const Pmh& machine) {
+  std::vector<double> sizes;
+  sizes.reserve(machine.num_cache_levels());
+  for (std::size_t l = 1; l <= machine.num_cache_levels(); ++l)
+    sizes.push_back(machine.cache_size(l));
+  return sizes;
+}
+
+CondensedDag::CondensedDag(const StrandGraph& g, std::vector<double> sizes,
+                           double sigma)
+    : g_(&g), tree_(&g.tree()), sigma_(sigma), sizes_(std::move(sizes)) {
+  NDF_CHECK(sigma_ > 0.0 && sigma_ < 1.0);
+  NDF_CHECK_MSG(!sizes_.empty(), "condensation needs at least one cache level");
+  ++g_builds;
+
+  const std::size_t L = sizes_.size();
+  dec_.reserve(L);
+  for (std::size_t l = 1; l <= L; ++l)
+    dec_.push_back(decompose(*tree_, sigma_ * sizes_[l - 1]));
+
+  ext0_.resize(L);
+  task_units_.resize(L);
+  for (std::size_t l = 1; l <= L; ++l) {
+    ext0_[l - 1].assign(dec_[l - 1].maximal.size(), 0);
+    task_units_[l - 1].assign(dec_[l - 1].maximal.size(), 0);
+  }
+  for (std::size_t u = 0; u < num_units(); ++u)
+    for (std::size_t l = 1; l <= L; ++l)
+      ++task_units_[l - 1][dec_[l - 1].owner[dec_[0].maximal[u]]];
+
+  unit_work_.resize(num_units());
+  for (std::size_t u = 0; u < num_units(); ++u) {
+    unit_work_[u] = tree_->work_of(dec_[0].maximal[u]);
+    total_work_ += unit_work_[u];
+  }
+
+  // Dependence-counter template: one external arrow per edge crossing a
+  // maximal task boundary, at every level it crosses. Uses the same walk
+  // SimCore's count_edge decrements through.
+  for (VertexId v = 0; v < g_->num_vertices(); ++v)
+    for (VertexId w : g_->successors(v))
+      for_each_external_arrow(
+          v, w, [&](std::size_t l, int t) { ++ext0_[l - 1][t]; });
+
+  in_deg0_.resize(g_->num_vertices());
+  for (VertexId v = 0; v < g_->num_vertices(); ++v)
+    in_deg0_[v] = g_->in_degree(v);
+}
+
+bool CondensedDag::compatible_with(const Pmh& machine, double sigma) const {
+  if (sigma != sigma_) return false;
+  if (machine.num_cache_levels() != sizes_.size()) return false;
+  for (std::size_t l = 1; l <= sizes_.size(); ++l)
+    if (machine.cache_size(l) != sizes_[l - 1]) return false;
+  return true;
+}
+
+std::size_t CondensedDag::total_builds() { return g_builds.load(); }
+
+}  // namespace ndf

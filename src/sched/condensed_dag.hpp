@@ -1,0 +1,106 @@
+// Immutable condensation of an elaborated strand DAG against a cache-size
+// profile: the per-level σM-maximal decompositions, unit work, task→unit
+// counts, and the external-dependence templates every simulation run starts
+// from. Building one is the expensive part of simulating a policy (it walks
+// the spawn tree once per level and every DAG edge once per level); running
+// a policy on top of it is cheap. A sweep over 4 policies × N machines with
+// the same cache sizes therefore builds the condensation once and shares it
+// across all 4N runs (see src/exp/sweep.hpp), instead of rebuilding it
+// inside every SimCore as the pre-split code did.
+//
+// A CondensedDag depends only on (graph, σ, level cache sizes) — never on
+// processor counts, fan-outs or miss costs — so machines that differ only
+// in those reuse the same object. SimCore validates compatibility when
+// borrowing one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/decompose.hpp"
+#include "nd/graph.hpp"
+
+namespace ndf {
+
+class Pmh;
+
+/// The σMi cache-size profile a condensation is keyed by: machine cache
+/// sizes from level 1 up.
+std::vector<double> level_cache_sizes(const Pmh& machine);
+
+class CondensedDag {
+ public:
+  /// Decomposes `g`'s spawn tree by σ·sizes[l-1] at every level and
+  /// precomputes the run-state templates. `sizes` is ordered level 1 up.
+  CondensedDag(const StrandGraph& g, std::vector<double> sizes, double sigma);
+
+  const StrandGraph& graph() const { return *g_; }
+  const SpawnTree& tree() const { return *tree_; }
+  double sigma() const { return sigma_; }
+  const std::vector<double>& sizes() const { return sizes_; }
+  std::size_t num_levels() const { return sizes_.size(); }
+
+  /// σM_level-maximal decomposition (level in 1..num_levels()).
+  const Decomposition& decomposition(std::size_t level) const {
+    return dec_[level - 1];
+  }
+
+  /// Atomic units are the σM1-maximal tasks, indexed in spawn-tree
+  /// (depth-first, left-to-right) order.
+  std::size_t num_units() const { return dec_[0].maximal.size(); }
+  NodeId unit_root(int u) const { return dec_[0].maximal[u]; }
+  double unit_work(int u) const { return unit_work_[u]; }
+  double total_work() const { return total_work_; }
+
+  /// Atomic units inside level-`level` maximal task `t`.
+  std::size_t task_units(std::size_t level, int t) const {
+    return task_units_[level - 1][t];
+  }
+
+  /// Invokes fn(level, task) for every level at which edge (v, w) is an
+  /// external incoming arrow of w's maximal task — the one boundary-crossing
+  /// walk shared by the +1 template build and SimCore's -1 decrements, so
+  /// the two can never diverge. Inline: it runs per edge per fire.
+  template <typename Fn>
+  void for_each_external_arrow(VertexId v, VertexId w, Fn&& fn) const {
+    const NodeId nu = g_->owner(v), nv = g_->owner(w);
+    for (std::size_t l = 1; l <= dec_.size(); ++l) {
+      const int tu = dec_[l - 1].owner[nu], tv = dec_[l - 1].owner[nv];
+      if (tu == tv && tu >= 0) break;  // internal here and above
+      if (tv >= 0) fn(l, tv);
+    }
+  }
+
+  /// Initial unsatisfied external dataflow arrows per level per maximal
+  /// task — the template a run copies its mutable counters from.
+  const std::vector<std::vector<int>>& initial_ext() const { return ext0_; }
+  /// Initial in-degree per DAG vertex, same role.
+  const std::vector<std::uint32_t>& initial_in_degree() const {
+    return in_deg0_;
+  }
+
+  /// True iff this condensation can drive a run on `machine` at `sigma`
+  /// (same σ, same cache-size profile).
+  bool compatible_with(const Pmh& machine, double sigma) const;
+
+  /// Process-wide count of condensations ever built. Tests assert reuse by
+  /// differencing it around a sweep ("built exactly once per workload×σ").
+  static std::size_t total_builds();
+
+ private:
+  const StrandGraph* g_;
+  const SpawnTree* tree_;
+  double sigma_;
+  std::vector<double> sizes_;
+
+  std::vector<Decomposition> dec_;                    // dec_[l-1] = σM_l
+  std::vector<std::vector<std::size_t>> task_units_;  // [l-1][task]
+  std::vector<double> unit_work_;
+  double total_work_ = 0.0;
+
+  std::vector<std::vector<int>> ext0_;  // [l-1][task]
+  std::vector<std::uint32_t> in_deg0_;
+};
+
+}  // namespace ndf

@@ -39,13 +39,17 @@ void ensure_builtins() {
   (void)once;
 }
 
+// Safe to call from any error path: registers the builtins itself, so an
+// unknown-policy message always lists what is actually available instead of
+// whatever happened to be registered at the time.
 std::string known_names() {
+  ensure_builtins();
   std::string s;
   for (const auto& [name, entry] : table()) {
     if (!s.empty()) s += ", ";
     s += name;
   }
-  return s;
+  return s.empty() ? "<none>" : s;
 }
 
 }  // namespace

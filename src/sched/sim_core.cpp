@@ -4,35 +4,34 @@ namespace ndf {
 
 SimCore::SimCore(const StrandGraph& g, const Pmh& machine,
                  const SchedOptions& opts)
-    : g_(g), tree_(g.tree()), m_(machine), opts_(opts) {
-  NDF_CHECK(opts_.sigma > 0.0 && opts_.sigma < 1.0);
-  L_ = m_.num_cache_levels();
-  dec_.reserve(L_);
-  for (std::size_t l = 1; l <= L_; ++l)
-    dec_.push_back(decompose(tree_, opts_.sigma * m_.cache_size(l)));
+    : owned_(std::make_unique<CondensedDag>(g, level_cache_sizes(machine),
+                                            opts.sigma)),
+      dag_(*owned_),
+      m_(machine),
+      opts_(opts) {
+  init_run_state();
+}
 
-  ext_.resize(L_);
-  task_units_.resize(L_);
-  for (std::size_t l = 1; l <= L_; ++l) {
-    ext_[l - 1].assign(dec_[l - 1].maximal.size(), 0);
-    task_units_[l - 1].assign(dec_[l - 1].maximal.size(), 0);
-  }
-  for (std::size_t u = 0; u < num_units(); ++u)
-    for (std::size_t l = 1; l <= L_; ++l)
-      ++task_units_[l - 1][dec_[l - 1].owner[dec_[0].maximal[u]]];
+SimCore::SimCore(const CondensedDag& dag, const Pmh& machine,
+                 const SchedOptions& opts)
+    : dag_(dag), m_(machine), opts_(opts) {
+  NDF_CHECK_MSG(dag_.compatible_with(m_, opts_.sigma),
+                "CondensedDag(sigma=" << dag_.sigma() << ", "
+                                      << dag_.num_levels()
+                                      << " levels) does not match machine "
+                                      << m_.to_string() << " at sigma "
+                                      << opts_.sigma);
+  init_run_state();
+}
 
-  unit_work_.resize(num_units());
-  for (std::size_t u = 0; u < num_units(); ++u) {
-    unit_work_[u] = tree_.work_of(dec_[0].maximal[u]);
-    stats_.total_work += unit_work_[u];
-  }
+void SimCore::init_run_state() {
+  ext_ = dag_.initial_ext();
+  in_deg_ = dag_.initial_in_degree();
+  fired_.assign(dag_.graph().num_vertices(), 0);
+
+  stats_.total_work = dag_.total_work();
   stats_.atomic_units = num_units();
-  stats_.misses.assign(L_, 0.0);
-
-  fired_.assign(g_.num_vertices(), 0);
-  in_deg_.resize(g_.num_vertices());
-  for (VertexId v = 0; v < g_.num_vertices(); ++v)
-    in_deg_[v] = g_.in_degree(v);
+  stats_.misses.assign(num_levels(), 0.0);
 }
 
 std::vector<double> SimCore::distributed_unit_durations() const {
@@ -40,12 +39,13 @@ std::vector<double> SimCore::distributed_unit_durations() const {
   for (std::size_t u = 0; u < num_units(); ++u) {
     double charge = 0.0;
     if (opts_.charge_misses)
-      for (std::size_t l = 1; l <= L_; ++l) {
-        const int t = dec_[l - 1].owner[dec_[0].maximal[u]];
-        charge += tree_.size_of(dec_[l - 1].maximal[t]) * m_.miss_cost(l) /
-                  double(task_units_[l - 1][t]);
+      for (std::size_t l = 1; l <= num_levels(); ++l) {
+        const Decomposition& d = dag_.decomposition(l);
+        const int t = d.owner[dag_.unit_root(u)];
+        charge += tree().size_of(d.maximal[t]) * m_.miss_cost(l) /
+                  double(dag_.task_units(l, t));
       }
-    dur[u] = unit_work_[u] + charge;
+    dur[u] = dag_.unit_work(u) + charge;
   }
   return dur;
 }
@@ -58,34 +58,30 @@ std::vector<int> SimCore::initially_ready_units() const {
 }
 
 void SimCore::charge_condensed_footprints() {
-  for (std::size_t l = 1; l <= L_; ++l)
-    for (NodeId root : dec_[l - 1].maximal)
-      stats_.misses[l - 1] += tree_.size_of(root);
+  for (std::size_t l = 1; l <= num_levels(); ++l)
+    for (NodeId root : dag_.decomposition(l).maximal)
+      stats_.misses[l - 1] += tree().size_of(root);
 }
 
 void SimCore::count_edge(VertexId v, VertexId w, int delta) {
-  const NodeId nu = g_.owner(v), nv = g_.owner(w);
-  for (std::size_t l = 1; l <= L_; ++l) {
-    const int tu = dec_[l - 1].owner[nu], tv = dec_[l - 1].owner[nv];
-    if (tu == tv && tu >= 0) break;  // internal here and above
-    if (tv >= 0) {
-      int& e = ext_[l - 1][tv];
-      e += delta;
-      if (delta < 0 && e == 0 && ready_hooks_enabled_)
-        policy_->on_task_ready(l, tv);
-    }
-  }
+  dag_.for_each_external_arrow(v, w, [&](std::size_t l, int t) {
+    int& e = ext_[l - 1][t];
+    e += delta;
+    if (delta < 0 && e == 0 && ready_hooks_enabled_)
+      policy_->on_task_ready(l, t);
+  });
 }
 
 void SimCore::fire_vertex(VertexId v) {
   if (fired_[v]) return;
   fired_[v] = 1;
-  for (VertexId w : g_.successors(v)) {
+  const StrandGraph& g = dag_.graph();
+  for (VertexId w : g.successors(v)) {
     count_edge(v, w, -1);
     if (--in_deg_[w] == 0 && !fired_[w] && is_control(w))
       cascade_.push_back(w);
   }
-  if (g_.is_exit(v)) policy_->on_exit_fired(g_.owner(v));
+  if (g.is_exit(v)) policy_->on_exit_fired(g.owner(v));
 }
 
 void SimCore::cascade_all() {
@@ -97,18 +93,19 @@ void SimCore::cascade_all() {
 }
 
 void SimCore::complete_unit(int u) {
-  const NodeId root = dec_[0].maximal[u];
+  const NodeId root = dag_.unit_root(u);
   std::vector<NodeId> stack{root}, order;
   while (!stack.empty()) {
     NodeId n = stack.back();
     stack.pop_back();
     order.push_back(n);
-    for (NodeId c : tree_.node(n).children) stack.push_back(c);
+    for (NodeId c : tree().node(n).children) stack.push_back(c);
   }
+  const StrandGraph& g = dag_.graph();
   // Children before parents so the unit root's exit fires last.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    fire_vertex(g_.enter(*it));
-    fire_vertex(g_.exit(*it));
+    fire_vertex(g.enter(*it));
+    fire_vertex(g.exit(*it));
   }
   cascade_all();
 }
@@ -125,7 +122,7 @@ void SimCore::dispatch(double now) {
     if (opts_.trace)
       opts_.trace->push_back(TraceEvent{now, now + a.duration,
                                         static_cast<std::uint32_t>(p),
-                                        dec_[0].maximal[a.unit]});
+                                        dag_.unit_root(a.unit)});
     events_.push(Ev{now + a.duration, p, a.unit});
   }
   idle_.swap(still_idle);
@@ -135,16 +132,16 @@ SchedStats SimCore::run(Scheduler& policy) {
   policy_ = &policy;
   policy.init(*this);
 
-  // Dependence counters: one external arrow per edge crossing a maximal
-  // task boundary, at every level it crosses.
-  for (VertexId v = 0; v < g_.num_vertices(); ++v)
-    for (VertexId w : g_.successors(v)) count_edge(v, w, +1);
+  // Dependence counters start from the dag's precomputed template (one
+  // external arrow per edge crossing a maximal task boundary, at every
+  // level it crosses) — already copied by init_run_state().
 
   for (std::size_t p = 0; p < m_.num_processors(); ++p) idle_.push_back(p);
 
   // Initial cascade: fire every dependency-free control vertex. Readiness
   // hooks stay off — the on_start scans cover everything ready at time 0.
-  for (VertexId v = 0; v < g_.num_vertices(); ++v)
+  const StrandGraph& g = dag_.graph();
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
     if (in_deg_[v] == 0 && !fired_[v] && is_control(v)) cascade_.push_back(v);
   cascade_all();
 
@@ -168,7 +165,7 @@ SchedStats SimCore::run(Scheduler& policy) {
                 policy.name() << " simulation stalled: " << done << " of "
                               << num_units() << " units completed");
   stats_.makespan = now;
-  for (std::size_t l = 1; l <= L_; ++l)
+  for (std::size_t l = 1; l <= num_levels(); ++l)
     stats_.miss_cost += stats_.misses[l - 1] * m_.miss_cost(l);
   stats_.utilization =
       now > 0 ? busy_time_ / (double(m_.num_processors()) * now) : 1.0;

@@ -9,6 +9,14 @@
 // of that; a Scheduler policy only decides *which* ready unit runs *where*
 // and what latency it is charged (see DESIGN.md, "Simulator architecture").
 //
+// The static half of the machinery — decompositions, unit work, dependence
+// templates — lives in an immutable CondensedDag. SimCore is the cheap
+// per-run half: mutable counters, the event queue, and stats. Construct one
+// SimCore per run, either from a graph+machine (builds a private
+// CondensedDag, the historical interface) or from a shared CondensedDag so
+// a sweep reuses one condensation across policies and machines (the
+// src/exp/ subsystem's fast path).
+//
 // The split keeps policies small: SB is anchoring/boundedness/allocation,
 // WS is victim selection plus the footprint-reload cache model, greedy and
 // serial are a queue discipline each. New policies implement Scheduler and
@@ -16,12 +24,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
-#include "analysis/decompose.hpp"
-#include "nd/graph.hpp"
 #include "pmh/machine.hpp"
+#include "sched/condensed_dag.hpp"
 #include "sched/trace.hpp"
 
 namespace ndf {
@@ -113,25 +121,34 @@ class Scheduler {
 /// The shared simulator. Construct per run, then call run(policy).
 class SimCore {
  public:
+  /// Builds a private condensation for this one run (graph × machine sizes
+  /// × opts.sigma). The historical interface; sweeps prefer the shared-dag
+  /// constructor below.
   SimCore(const StrandGraph& g, const Pmh& machine, const SchedOptions& opts);
+
+  /// Runs on a shared, externally owned condensation. `dag` must outlive
+  /// the core and be compatible with (machine, opts.sigma) — checked.
+  SimCore(const CondensedDag& dag, const Pmh& machine,
+          const SchedOptions& opts);
 
   SchedStats run(Scheduler& policy);
 
   // --- static structure available from Scheduler::init on -----------------
-  const SpawnTree& tree() const { return tree_; }
+  const CondensedDag& dag() const { return dag_; }
+  const SpawnTree& tree() const { return dag_.tree(); }
   const Pmh& machine() const { return m_; }
 
-  std::size_t num_levels() const { return L_; }
+  std::size_t num_levels() const { return dag_.num_levels(); }
   /// σM_level-maximal decomposition (level in 1..num_levels()).
   const Decomposition& decomposition(std::size_t level) const {
-    return dec_[level - 1];
+    return dag_.decomposition(level);
   }
 
   /// Atomic units are the σM1-maximal tasks, indexed in spawn-tree
   /// (depth-first, left-to-right) order.
-  std::size_t num_units() const { return dec_[0].maximal.size(); }
-  NodeId unit_root(int u) const { return dec_[0].maximal[u]; }
-  double unit_work(int u) const { return unit_work_[u]; }
+  std::size_t num_units() const { return dag_.num_units(); }
+  NodeId unit_root(int u) const { return dag_.unit_root(u); }
+  double unit_work(int u) const { return dag_.unit_work(u); }
 
   /// Unsatisfied external incoming dataflow arrows of a maximal task.
   int task_ext(std::size_t level, int t) const { return ext_[level - 1][t]; }
@@ -163,7 +180,11 @@ class SimCore {
     bool operator>(const Ev& o) const { return time > o.time; }
   };
 
-  bool is_control(VertexId v) const { return dec_[0].owner[g_.owner(v)] < 0; }
+  void init_run_state();
+
+  bool is_control(VertexId v) const {
+    return dag_.decomposition(1).owner[dag_.graph().owner(v)] < 0;
+  }
 
   /// Adjusts external-dependence counters for edge (v, w) at every level
   /// where the endpoints lie in different maximal tasks; on decrement to
@@ -176,18 +197,14 @@ class SimCore {
   void complete_unit(int u);
   void dispatch(double now);
 
-  const StrandGraph& g_;
-  const SpawnTree& tree_;
+  std::unique_ptr<CondensedDag> owned_;  // only set by the building ctor
+  const CondensedDag& dag_;
   const Pmh& m_;
   const SchedOptions opts_;  // by value: a temporary argument must not dangle
   Scheduler* policy_ = nullptr;
   bool ready_hooks_enabled_ = false;
 
-  std::size_t L_ = 0;
-  std::vector<Decomposition> dec_;               // dec_[l-1] = σM_l
-  std::vector<std::vector<int>> ext_;            // ext_[l-1][task]
-  std::vector<std::vector<std::size_t>> task_units_;  // [l-1][task]
-  std::vector<double> unit_work_;
+  std::vector<std::vector<int>> ext_;  // ext_[l-1][task], from dag templates
 
   std::vector<char> fired_;
   std::vector<std::uint32_t> in_deg_;

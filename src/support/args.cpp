@@ -21,6 +21,12 @@ Args::Args(int argc, const char* const* argv) {
 
 bool Args::has(const std::string& name) const { return kv_.count(name) > 0; }
 
+std::vector<std::string> Args::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : kv_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
 std::string Args::get(const std::string& name, const std::string& dflt) const {
   const auto it = kv_.find(name);
   return it == kv_.end() ? dflt : it->second;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace ndf {
 
@@ -24,6 +25,10 @@ class Args {
 
   /// Names that were parsed but never queried — callers can warn on these.
   std::size_t size() const { return kv_.size(); }
+
+  /// All parsed flag names, sorted — lets a binary reject flags it does
+  /// not know instead of silently running defaults.
+  std::vector<std::string> names() const;
 
  private:
   std::map<std::string, std::string> kv_;

@@ -1,0 +1,292 @@
+// Tests of the experiment-sweep subsystem (src/exp/):
+//   X1  workload spec parsing: defaults, round-trip labels, loud failures
+//   X2  scenario grid expansion: size, deterministic order, validation
+//   X3  the Sweep runner builds each workload's condensation exactly once
+//       per σ × cache profile (counter-verified) and its stats are
+//       bit-identical to fresh-build SimCore runs for all four policies
+//   X4  SimCore on a shared CondensedDag == SimCore building its own, bit
+//       for bit, and incompatible dag/machine/σ pairings are rejected
+//   X5  the repeat axis varies only the seed, deterministically
+//   X6  the consolidated JSON/CSV emitters produce well-formed output
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "pmh/presets.hpp"
+#include "sched/condensed_dag.hpp"
+#include "sched/registry.hpp"
+
+namespace ndf {
+namespace {
+
+const char* kAllPolicies[] = {"sb", "ws", "greedy", "serial"};
+
+void expect_stats_bit_identical(const SchedStats& a, const SchedStats& b,
+                                const std::string& who) {
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan) << who;
+  EXPECT_DOUBLE_EQ(a.total_work, b.total_work) << who;
+  EXPECT_DOUBLE_EQ(a.miss_cost, b.miss_cost) << who;
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization) << who;
+  EXPECT_EQ(a.atomic_units, b.atomic_units) << who;
+  EXPECT_EQ(a.anchors, b.anchors) << who;
+  EXPECT_EQ(a.steals, b.steals) << who;
+  ASSERT_EQ(a.misses.size(), b.misses.size()) << who;
+  for (std::size_t l = 0; l < a.misses.size(); ++l)
+    EXPECT_DOUBLE_EQ(a.misses[l], b.misses[l]) << who << " L" << (l + 1);
+}
+
+TEST(Workload, ParseSpecDefaultsAndRoundTrip) {  // X1
+  exp::WorkloadSpec w = exp::parse_workload("mm");
+  EXPECT_EQ(w.algo, "mm");
+  EXPECT_EQ(w.n, 64u);  // the registry default
+  EXPECT_EQ(w.base, 4u);
+  EXPECT_FALSE(w.np);
+  EXPECT_EQ(w.label(), "mm:n=64");
+
+  w = exp::parse_workload("trs:n=48,base=8,np");
+  EXPECT_EQ(w.algo, "trs");
+  EXPECT_EQ(w.n, 48u);
+  EXPECT_EQ(w.base, 8u);
+  EXPECT_TRUE(w.np);
+  EXPECT_EQ(w.label(), "trs:n=48,base=8,np");
+  // Labels round-trip through the parser.
+  const exp::WorkloadSpec again = exp::parse_workload(w.label());
+  EXPECT_EQ(again.label(), w.label());
+
+  const auto list = exp::parse_workload_list("mm:n=8;lcs:n=32,np");
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].algo, "mm");
+  EXPECT_TRUE(list[1].np);
+  EXPECT_TRUE(exp::parse_workload_list("").empty());
+}
+
+TEST(Workload, BadSpecsFailLoudlyListingRegistry) {  // X1
+  try {
+    exp::parse_workload("nope:n=4");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown workload 'nope'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mm"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cholesky"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(exp::parse_workload("mm:n=-3"), CheckError);
+  EXPECT_THROW(exp::parse_workload("mm:n=abc"), CheckError);
+  EXPECT_THROW(exp::parse_workload("mm:bogus=1"), CheckError);
+  EXPECT_GE(exp::registered_workloads().size(), 8u);
+}
+
+TEST(Workload, BuildsTreeAndGraph) {  // X1
+  exp::Workload w(exp::parse_workload("mm:n=8"));
+  EXPECT_GT(w.tree().work_of(w.tree().root()), 0.0);
+  EXPECT_GT(w.graph().num_vertices(), 0u);
+  // np changes the elaboration, not the tree.
+  exp::Workload np(exp::parse_workload("trs:n=16,np"));
+  exp::Workload nd(exp::parse_workload("trs:n=16"));
+  EXPECT_EQ(np.graph().num_vertices(), nd.graph().num_vertices());
+  EXPECT_GE(np.graph().span(), nd.graph().span());
+}
+
+exp::Scenario small_scenario() {
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=8;trs:n=8");
+  s.machines = {"flat:p=2,m1=768,c1=10", "deep2x4"};
+  s.policies = {"sb", "ws", "greedy"};
+  s.sigmas = {0.25, 0.5};
+  s.alpha_primes = {0.5, 1.0};
+  s.repeats = 2;
+  return s;
+}
+
+TEST(Scenario, GridSizeAndExpansionOrder) {  // X2
+  const exp::Scenario s = small_scenario();
+  // 2 workloads × 2 σ × 2 machines × 2 α' × 3 policies × 2 repeats.
+  EXPECT_EQ(exp::grid_size(s), 96u);
+  const auto g = exp::expand_grid(s);
+  ASSERT_EQ(g.size(), 96u);
+  // Innermost axis is repeat, then policy, α', machine, σ; workload-major.
+  EXPECT_EQ(g[0].repeat, 0u);
+  EXPECT_EQ(g[1].repeat, 1u);
+  EXPECT_EQ(g[1].policy, 0u);
+  EXPECT_EQ(g[2].policy, 1u);
+  EXPECT_EQ(g[6].alpha, 1u);
+  EXPECT_EQ(g[12].machine, 1u);
+  EXPECT_EQ(g[24].sigma, 1u);
+  EXPECT_EQ(g[47].workload, 0u);
+  EXPECT_EQ(g[48].workload, 1u);
+  EXPECT_EQ(g[95].workload, 1u);
+  EXPECT_EQ(g[95].sigma, 1u);
+  EXPECT_EQ(g[95].repeat, 1u);
+  // Expansion is deterministic.
+  EXPECT_EQ(exp::expand_grid(s).size(), g.size());
+}
+
+TEST(Scenario, ValidationRejectsBadAxes) {  // X2
+  exp::Scenario s;
+  EXPECT_THROW(exp::validate(s), CheckError);  // no workloads
+  s = small_scenario();
+  EXPECT_NO_THROW(exp::validate(s));
+  s.policies = {"bogus"};
+  EXPECT_THROW(exp::validate(s), CheckError);
+  s = small_scenario();
+  s.sigmas = {1.5};
+  EXPECT_THROW(exp::validate(s), CheckError);
+  s = small_scenario();
+  s.alpha_primes = {0.0};
+  EXPECT_THROW(exp::validate(s), CheckError);
+  s = small_scenario();
+  s.alpha_primes = {-1.0};
+  EXPECT_THROW(exp::validate(s), CheckError);
+  s = small_scenario();
+  s.repeats = 0;
+  EXPECT_THROW(exp::validate(s), CheckError);
+  s = small_scenario();
+  s.machines.clear();
+  EXPECT_THROW(exp::validate(s), CheckError);
+  s = small_scenario();
+  s.machines = {"bogus-machine"};
+  EXPECT_THROW(exp::validate(s), CheckError);  // specs parse at validation
+}
+
+TEST(Sweep, FailedRunDoesNotPoisonIntoEmptySuccess) {  // X2
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=8");
+  s.machines = {"bogus-machine"};
+  s.policies = {"sb"};
+  exp::Sweep sweep(s);
+  EXPECT_THROW(sweep.run(), CheckError);
+  EXPECT_THROW(sweep.run(), CheckError);  // still throws, no silent empty
+  EXPECT_TRUE(sweep.results().empty());
+}
+
+TEST(Sweep, BuildsCondensationOncePerSigmaAndMatchesFreshRuns) {  // X3
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=32");
+  s.machines = {"flat8"};
+  s.policies = {"sb", "ws", "greedy", "serial"};
+  exp::Sweep sweep(s);
+
+  const std::size_t before = CondensedDag::total_builds();
+  const auto& runs = sweep.run();
+  // The acceptance invariant: 1 workload × 1 σ → exactly one condensation
+  // for all four policies.
+  EXPECT_EQ(CondensedDag::total_builds(), before + 1);
+  EXPECT_EQ(sweep.condensations_built(), 1u);
+  ASSERT_EQ(runs.size(), 4u);
+
+  // Fresh-build SimCore (the historical per-run path) must agree bit for
+  // bit with the shared-condensation sweep, for every policy.
+  exp::Workload w(s.workloads[0]);
+  const Pmh m = make_pmh("flat8");
+  for (const exp::RunPoint& r : runs) {
+    SchedOptions o;
+    o.seed = r.seed;
+    const SchedStats fresh = run_scheduler(r.policy, w.graph(), m, o);
+    expect_stats_bit_identical(r.stats, fresh, r.policy);
+  }
+}
+
+TEST(Sweep, CondensationCountIsSigmaTimesCacheProfiles) {  // X3
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=32");
+  // Three machines, one cache profile (M1=768): p never forces a rebuild.
+  s.machines = {"flat:p=2,m1=768,c1=10", "flat:p=8,m1=768,c1=10", "flat16"};
+  s.policies = {"sb", "serial"};
+  s.sigmas = {0.25, 0.5};
+  exp::Sweep sweep(s);
+  const auto& runs = sweep.run();
+  EXPECT_EQ(runs.size(), 12u);
+  EXPECT_EQ(sweep.condensations_built(), 2u);  // one per σ, shared by all
+
+  // A machine with a different profile forces one more per σ.
+  exp::Scenario s2 = s;
+  s2.machines.push_back("deep2x4");
+  exp::Sweep sweep2(s2);
+  sweep2.run();
+  EXPECT_EQ(sweep2.condensations_built(), 4u);
+}
+
+TEST(CondensedDag, SharedDagMatchesOwnedBitIdentically) {  // X4
+  exp::Workload w(exp::parse_workload("trs:n=32"));
+  const Pmh m = make_pmh("deep2x4");
+  SchedOptions o;
+  const CondensedDag dag(w.graph(), level_cache_sizes(m), o.sigma);
+  EXPECT_EQ(dag.num_levels(), 2u);
+  EXPECT_GT(dag.num_units(), 0u);
+  EXPECT_DOUBLE_EQ(dag.total_work(), w.graph().work());
+
+  for (const char* name : kAllPolicies) {
+    const auto policy = make_scheduler(name, o);
+    SimCore shared(dag, m, o);
+    const SchedStats a = shared.run(*policy);
+    const SchedStats b = run_scheduler(name, w.graph(), m, o);
+    expect_stats_bit_identical(a, b, name);
+  }
+
+  // Incompatible pairings are rejected loudly.
+  const Pmh flat = make_pmh("flat8");
+  EXPECT_THROW(SimCore(dag, flat, o), CheckError);
+  SchedOptions other_sigma;
+  other_sigma.sigma = 0.5;
+  EXPECT_THROW(SimCore(dag, m, other_sigma), CheckError);
+  EXPECT_FALSE(dag.compatible_with(m, 0.5));
+  EXPECT_TRUE(dag.compatible_with(m, o.sigma));
+}
+
+TEST(Sweep, RepeatAxisVariesSeedDeterministically) {  // X5
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=32");
+  s.machines = {"flat8"};
+  s.policies = {"ws"};
+  s.repeats = 3;
+  s.base_seed = 7;
+  exp::Sweep sweep(s);
+  const auto& runs = sweep.run();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].seed, 7u);
+  EXPECT_EQ(runs[1].seed, 8u);
+  EXPECT_EQ(runs[2].seed, 9u);
+
+  // Rerunning the same scenario reproduces every point exactly.
+  exp::Sweep again(s);
+  const auto& runs2 = again.run();
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    expect_stats_bit_identical(runs[i].stats, runs2[i].stats,
+                               "repeat " + std::to_string(i));
+}
+
+TEST(Report, EmittersProduceWellFormedOutput) {  // X6
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=8");
+  s.machines = {"flat:p=2,m1=768,c1=10"};
+  s.policies = {"sb", "serial"};
+  exp::Sweep sweep(s);
+  const auto& runs = sweep.run();
+
+  std::ostringstream json;
+  exp::write_sweep_json(json, "unit", runs);
+  const std::string j = json.str();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.substr(j.size() - 2), "}\n");
+  EXPECT_NE(j.find("\"sweep\": \"unit\""), std::string::npos);
+  EXPECT_NE(j.find("\"runs\": ["), std::string::npos);
+  EXPECT_NE(j.find("\"makespan\": "), std::string::npos);
+  EXPECT_NE(j.find("\"policy\": \"serial\""), std::string::npos);
+
+  std::ostringstream csv;
+  exp::write_sweep_csv(csv, runs);
+  const std::string c = csv.str();
+  // Header + one line per run; the comma-bearing machine spec is quoted.
+  EXPECT_EQ(std::count(c.begin(), c.end(), '\n'), (long)runs.size() + 1);
+  EXPECT_NE(c.find("workload,algo,n,"), std::string::npos);
+  EXPECT_NE(c.find("\"flat:p=2,m1=768,c1=10\""), std::string::npos);
+
+  const Table t = exp::results_table("unit", runs);
+  EXPECT_EQ(t.num_rows(), runs.size());
+}
+
+}  // namespace
+}  // namespace ndf

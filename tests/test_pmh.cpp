@@ -1,7 +1,9 @@
-// Tests for the PMH machine model's index arithmetic.
+// Tests for the PMH machine model's index arithmetic and the named-preset
+// machine parser the sweep subsystem selects machines with.
 #include <gtest/gtest.h>
 
 #include "pmh/machine.hpp"
+#include "pmh/presets.hpp"
 
 namespace ndf {
 namespace {
@@ -50,6 +52,65 @@ TEST(Pmh, ToStringMentionsShape) {
   Pmh m(PmhConfig::flat(4, 100, 5));
   const std::string s = m.to_string();
   EXPECT_NE(s.find("p=4"), std::string::npos);
+}
+
+TEST(PmhPresets, ParametricSpecsParse) {
+  const Pmh flat = make_pmh("flat:p=4,m1=100,c1=5");
+  EXPECT_EQ(flat.num_cache_levels(), 1u);
+  EXPECT_EQ(flat.num_processors(), 4u);
+  EXPECT_DOUBLE_EQ(flat.cache_size(1), 100);
+  EXPECT_DOUBLE_EQ(flat.miss_cost(1), 5);
+
+  const Pmh two = make_pmh("twotier:s=2,c=4,m1=64,m2=1024,c1=1,c2=10");
+  EXPECT_EQ(two.num_cache_levels(), 2u);
+  EXPECT_EQ(two.num_processors(), 8u);
+  EXPECT_DOUBLE_EQ(two.cache_size(1), 64);
+  EXPECT_DOUBLE_EQ(two.cache_size(2), 1024);
+  EXPECT_DOUBLE_EQ(two.miss_cost(2), 10);
+
+  // Omitted keys take the family defaults.
+  const Pmh dflt = make_pmh("flat:p=2");
+  EXPECT_EQ(dflt.num_processors(), 2u);
+  EXPECT_DOUBLE_EQ(dflt.cache_size(1), 768);
+}
+
+TEST(PmhPresets, NamedPresetsAllConstruct) {
+  const auto presets = pmh_presets();
+  EXPECT_GE(presets.size(), 5u);
+  for (const PmhPresetInfo& info : presets) {
+    const Pmh m = make_pmh(info.name);
+    EXPECT_GT(m.num_processors(), 0u) << info.name;
+    EXPECT_FALSE(info.description.empty()) << info.name;
+  }
+  // Spot-check the ones the benches rely on.
+  EXPECT_EQ(make_pmh("flat16").num_processors(), 16u);
+  EXPECT_EQ(make_pmh("deep4x4").num_processors(), 16u);
+  EXPECT_EQ(make_pmh("deep2x4").num_cache_levels(), 2u);
+}
+
+TEST(PmhPresets, BadSpecsThrowListingWhatExists) {
+  try {
+    make_pmh("nope");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown machine preset 'nope'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("flat16"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(make_pmh("mystery:p=1"), CheckError);  // unknown family
+  EXPECT_THROW(make_pmh("flat:zz=1"), CheckError);    // unknown key
+  EXPECT_THROW(make_pmh("flat:p=abc"), CheckError);   // not a number
+  EXPECT_THROW(make_pmh("flat:p"), CheckError);       // no value
+  EXPECT_THROW(make_pmh("flat:p=-2"), CheckError);    // negative count
+  EXPECT_THROW(make_pmh("flat:p=4.5"), CheckError);   // fractional count
+  EXPECT_THROW(make_pmh("flat:p=0"), CheckError);     // zero count
+  EXPECT_THROW(make_pmh("twotier:s=2.5"), CheckError);
+  EXPECT_THROW(make_pmh("flat:m1=0"), CheckError);    // degenerate size
+  EXPECT_THROW(make_pmh("flat:m1=-64"), CheckError);
+  EXPECT_THROW(make_pmh("flat:c1=-1"), CheckError);   // negative cost
+  EXPECT_THROW(make_pmh("twotier:m2=0"), CheckError);
+  EXPECT_THROW(make_pmh("flat:p=1e20"), CheckError);  // > size_t range
 }
 
 }  // namespace

@@ -59,6 +59,27 @@ TEST(Registry, BuiltinsRegisteredAndUnknownNamesThrow) {  // R1
   EXPECT_EQ(list[1], "sb");
 }
 
+TEST(Registry, UnknownPolicyErrorListsAvailableNames) {  // R1
+  SchedOptions o;
+  try {
+    make_scheduler("nope", o);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown scheduler 'nope'"), std::string::npos) << msg;
+    for (const char* name : {"sb", "ws", "greedy", "serial"})
+      EXPECT_NE(msg.find(name), std::string::npos) << name << ": " << msg;
+  }
+  try {
+    parse_sched_list("sb,bogus");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown scheduler 'bogus'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("greedy"), std::string::npos) << msg;
+  }
+}
+
 class RegistryProperty : public ::testing::TestWithParam<std::size_t> {
  protected:
   const RegistryCase& c() const {
