@@ -6,7 +6,8 @@
 // (src/exp/); A3 is analysis-only (no scheduling) and builds its trees
 // through the same workload registry.
 // Flags: --n=<size> --sched=<policy> (default sb; A1 applies to any
-// registered policy, A2 is sb-specific), --json=<path>.
+// registered policy, A2 is sb-specific), --json=<path>, --jobs=<n> (sweep
+// workers; 0 = hardware concurrency).
 #include <cmath>
 
 #include "analysis/pcc.hpp"
@@ -20,14 +21,14 @@ namespace {
 
 void sigma_sweep(bench::Output& out, const std::string& policy,
                  const std::string& name, const std::string& workload,
-                 const std::string& machine) {
+                 const std::string& machine, std::size_t jobs) {
   exp::Scenario sc;
   sc.name = "ablation/sigma";
   sc.workloads = {exp::parse_workload(workload)};
   sc.machines = {machine};
   sc.policies = {policy};
   sc.sigmas = {0.1, 0.2, 1.0 / 3.0, 0.5, 0.8};
-  exp::Sweep sweep(std::move(sc));
+  exp::Sweep sweep(std::move(sc), jobs);
   const auto& runs = sweep.run();
 
   Table t("A1: sigma sweep — " + name + " on " + runs[0].machine_desc);
@@ -39,14 +40,15 @@ void sigma_sweep(bench::Output& out, const std::string& policy,
 }
 
 void alpha_sweep(bench::Output& out, const std::string& name,
-                 const std::string& workload, const std::string& machine) {
+                 const std::string& workload, const std::string& machine,
+                 std::size_t jobs) {
   exp::Scenario sc;
   sc.name = "ablation/alpha";
   sc.workloads = {exp::parse_workload(workload)};
   sc.machines = {machine};
   sc.policies = {"sb"};
   sc.alpha_primes = {0.25, 0.5, 0.75, 1.0};
-  exp::Sweep sweep(std::move(sc));
+  exp::Sweep sweep(std::move(sc), jobs);
   const auto& runs = sweep.run();
 
   Table t("A2: allocation exponent sweep — " + name);
@@ -77,16 +79,17 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   const std::size_t n = std::size_t(args.get("n", 64LL));
   const std::string policy = bench::single_policy(args, "sb");
+  const std::size_t jobs = bench::jobs_flag(args);
   bench::Output out("EA ablations", args);
   bench::heading("EA ablations",
                  "Design-choice ablations: boundedness sigma, allocation "
                  "exponent, base-case size.");
   sigma_sweep(out, policy, "TRS n=" + std::to_string(n),
-              "trs:n=" + std::to_string(n), "flat8");
+              "trs:n=" + std::to_string(n), "flat8", jobs);
   alpha_sweep(out, "TRS n=" + std::to_string(n),
-              "trs:n=" + std::to_string(n), "deep2x4");
+              "trs:n=" + std::to_string(n), "deep2x4", jobs);
   sigma_sweep(out, policy, "LCS n=" + std::to_string(4 * n),
-              "lcs:n=" + std::to_string(4 * n), "flat:p=8,m1=256,c1=10");
+              "lcs:n=" + std::to_string(4 * n), "flat:p=8,m1=256,c1=10", jobs);
   base_sweep(out, n);
   std::cout << "Expected shape: very small sigma serializes (capacity), "
                "sigma near 1 overcommits caches without miss benefit in "

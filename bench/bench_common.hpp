@@ -35,6 +35,16 @@ inline std::string single_policy(const Args& args, const std::string& dflt) {
   return list[0];
 }
 
+/// `--jobs=<n>` for benches that execute sweeps: 0 (the default) means one
+/// worker per hardware thread, 1 forces the serial path. Sweep output is
+/// byte-identical at every value, so this only changes wall-clock time.
+inline std::size_t jobs_flag(const Args& args) {
+  const long long jobs = args.get("jobs", 0LL);
+  NDF_CHECK_MSG(jobs >= 0, "--jobs must be >= 0 (0 = hardware concurrency), "
+                               << "got " << jobs);
+  return std::size_t(jobs);
+}
+
 inline void heading(const std::string& id, const std::string& claim) {
   std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
 }

@@ -10,7 +10,7 @@
 // condensation is built once and reused across the whole p sweep.
 //
 // Flags: --sched=<policy> (default sb — any registry policy can be swept),
-// --json=<path>.
+// --json=<path>, --jobs=<n> (sweep workers; 0 = hardware concurrency).
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -24,7 +24,7 @@ const std::size_t kProcs[] = {1, 2, 4, 8, 16, 32, 64};
 
 void sweep(bench::Output& out, const std::string& policy,
            const std::string& name, const std::string& algo, std::size_t n,
-           double M1) {
+           double M1, std::size_t jobs) {
   exp::Scenario sc;
   sc.name = "sb_scaling/" + name;
   std::ostringstream nd, np;
@@ -37,7 +37,7 @@ void sweep(bench::Output& out, const std::string& policy,
     sc.machines.push_back(m.str());
   }
   sc.policies = {policy};
-  exp::Sweep sw(std::move(sc));
+  exp::Sweep sw(std::move(sc), jobs);
   const auto& runs = sw.run();
   // Grid order is workload-major: runs[m] is ND on machine m, runs[P + m]
   // is NP on machine m.
@@ -65,14 +65,15 @@ void sweep(bench::Output& out, const std::string& policy,
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const std::string policy = bench::single_policy(args, "sb");
+  const std::size_t jobs = bench::jobs_flag(args);
   bench::Output out("E8 sb-scaling/ND vs NP", args);
   bench::heading("E8 sb-scaling/ND vs NP",
                  "Sec. 1+4: SB schedulers exploit the ND model's extra "
                  "parallelizability — ND keeps near-linear speedup to "
                  "larger p; NP TRS/Cholesky flatten early.");
-  sweep(out, policy, "TRS", "trs", 128, 3 * 16 * 16);
-  sweep(out, policy, "Cholesky", "cholesky", 128, 3 * 16 * 16);
-  sweep(out, policy, "LCS", "lcs", 512, 64);
+  sweep(out, policy, "TRS", "trs", 128, 3 * 16 * 16, jobs);
+  sweep(out, policy, "Cholesky", "cholesky", 128, 3 * 16 * 16, jobs);
+  sweep(out, policy, "LCS", "lcs", 512, 64, jobs);
   std::cout << "Expected shape: eff_ND stays near 1 to higher p than "
                "eff_NP; the gap widens with p (who wins: ND, by a growing "
                "factor).\n";

@@ -9,7 +9,8 @@
 // with consolidated output.
 //
 // Flags: --sched=sb,ws[,greedy,serial] (policies from the registry; the
-// first is the ratio baseline), --json=<path>.
+// first is the ratio baseline), --json=<path>, --jobs=<n> (sweep workers;
+// 0 = hardware concurrency, output identical at every value).
 #include <algorithm>
 #include <cctype>
 
@@ -27,13 +28,13 @@ std::string upper(std::string s) {
 
 void compare(bench::Output& out, const std::vector<std::string>& policies,
              const std::string& name, const std::string& workload,
-             const std::string& machine) {
+             const std::string& machine, std::size_t jobs) {
   exp::Scenario sc;
   sc.name = "sb_vs_ws/" + name;
   sc.workloads = {exp::parse_workload(workload)};
   sc.machines = {machine};
   sc.policies = policies;
-  exp::Sweep sweep(std::move(sc));
+  exp::Sweep sweep(std::move(sc), jobs);
   const std::vector<exp::RunPoint>& runs = sweep.run();
   // One workload × one machine × one σ: runs arrive in policy order.
   const std::size_t levels = runs[0].stats.misses.size();
@@ -78,14 +79,15 @@ int main(int argc, char** argv) {
   const auto policies =
       parse_sched_list(args.get("sched", std::string("sb,ws")));
   NDF_CHECK_MSG(!policies.empty(), "--sched list must name a policy");
+  const std::size_t jobs = bench::jobs_flag(args);
   bench::Output out("E9 sb-vs-ws/locality", args);
   bench::heading("E9 sb-vs-ws/locality",
                  "SB's anchoring bounds misses by Q*(sigma*M); random "
                  "stealing reloads scattered footprints ([47,48]).");
-  compare(out, policies, "MM", "mm:n=64", "flat16");
-  compare(out, policies, "TRS", "trs:n=64", "flat16");
-  compare(out, policies, "LCS", "lcs:n=256", "flat16");
-  compare(out, policies, "MM(2-tier)", "mm:n=64", "deep4x4");
+  compare(out, policies, "MM", "mm:n=64", "flat16", jobs);
+  compare(out, policies, "TRS", "trs:n=64", "flat16", jobs);
+  compare(out, policies, "LCS", "lcs:n=256", "flat16", jobs);
+  compare(out, policies, "MM(2-tier)", "mm:n=64", "deep4x4", jobs);
   std::cout << "Expected shape: WS/SB miss ratio > 1 (often substantially); "
                "makespan follows when miss costs dominate.\n";
   return 0;

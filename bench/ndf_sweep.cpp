@@ -18,6 +18,9 @@
 //   --sigma=<x,x,...>            dilation values in (0,1), default 1/3
 //   --alpha=<x,x,...>            SB allocation exponents, default 1.0
 //   --repeat=<k> --seed=<s>      seed axis: seeds s..s+k-1 (ws variance)
+//   --jobs=<n>                   grid workers: 0 = hardware concurrency
+//                                (default), 1 = legacy serial path; output
+//                                is byte-identical at every n
 //   --json=<path> --csv=<path>   consolidated emitters
 //   --name=<id>                  sweep id in the outputs
 //   --smoke                      small fixed grid for CI (fast)
@@ -26,11 +29,11 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_common.hpp"
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
 #include "pmh/presets.hpp"
 #include "sched/registry.hpp"
-#include "support/args.hpp"
 
 using namespace ndf;
 
@@ -76,9 +79,9 @@ int main(int argc, char** argv) {
   for (const std::string& name : args.names())
     NDF_CHECK_MSG(name == "workloads" || name == "machines" ||
                       name == "sched" || name == "sigma" || name == "alpha" ||
-                      name == "repeat" || name == "seed" || name == "json" ||
-                      name == "csv" || name == "name" || name == "smoke" ||
-                      name == "list",
+                      name == "repeat" || name == "seed" || name == "jobs" ||
+                      name == "json" || name == "csv" || name == "name" ||
+                      name == "smoke" || name == "list",
                   "unknown flag --" << name
                                     << " (see the header of ndf_sweep.cpp or "
                                        "--list)");
@@ -123,6 +126,7 @@ int main(int argc, char** argv) {
   NDF_CHECK_MSG(repeat >= 1, "--repeat must be >= 1, got " << repeat);
   s.repeats = std::size_t(repeat);
   s.base_seed = std::uint64_t(args.get("seed", 42LL));
+  const std::size_t jobs = bench::jobs_flag(args);
 
   NDF_CHECK_MSG(!s.workloads.empty(),
                 "no workloads — pass --workloads=... or --smoke "
@@ -131,7 +135,7 @@ int main(int argc, char** argv) {
                 "no machines — pass --machines=... or --smoke "
                 "(--list shows what exists)");
 
-  exp::Sweep sweep(std::move(s));
+  exp::Sweep sweep(std::move(s), jobs);
   const auto& runs = sweep.run();
 
   std::ostringstream title;

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Perf-regression gate for the parallel sweep engine.
+#
+# Runs the same grid through ndf_sweep twice — --jobs=1 (legacy serial
+# path) and --jobs=N (thread-pool fan-out) — and:
+#   1. FAILS if any output (stdout table, JSON, CSV) differs byte-for-byte
+#      between the two: parallel execution must be unobservable in results.
+#   2. Records wall-clock for both runs and the speedup into
+#      BENCH_sweep_parallel.json (uploaded as a CI artifact, so the
+#      parallel-efficiency trajectory is tracked across commits).
+#
+# The timing grid is deliberately bigger than --smoke: the smoke grid
+# finishes in ~20 ms, where thread startup dominates and a speedup number
+# is noise. The byte-identity check runs on BOTH grids. Speedup below
+# MIN_SPEEDUP is reported (and recorded) but only warns by default —
+# shared CI runners are too noisy for a hard latency gate; set
+# PERF_GATE_STRICT=1 to make it fail.
+#
+# Usage: scripts/ci_perf_gate.sh <build-dir> [jobs]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: ci_perf_gate.sh <build-dir> [jobs]}
+JOBS=${2:-4}
+MIN_SPEEDUP=${MIN_SPEEDUP:-1.5}
+OUT="$BUILD_DIR/perf-gate"
+mkdir -p "$OUT"
+
+GATE_ARGS=(--name=perf-gate
+           --workloads='mm:n=128;lcs:n=1024;cholesky:n=128'
+           --machines='flat16;deep4x4'
+           --sched=sb,ws,greedy,serial --sigma=0.33 --repeat=4)
+
+now() { python3 -c 'import time; print(time.monotonic())'; }
+
+run_grid() { # <jobs> <prefix> [extra sweep args...]
+  local jobs=$1 prefix=$2
+  shift 2
+  "$BUILD_DIR/ndf_sweep" "$@" --jobs="$jobs" \
+      --json="$OUT/$prefix.json" --csv="$OUT/$prefix.csv" \
+      > "$OUT/$prefix.txt"
+}
+
+check_identical() { # <prefix-a> <prefix-b> <label>
+  local a=$1 b=$2 label=$3 ext
+  for ext in txt json csv; do
+    if ! cmp -s "$OUT/$a.$ext" "$OUT/$b.$ext"; then
+      echo "FAIL: $label: --jobs=1 and --jobs=$JOBS .$ext output differ:" >&2
+      diff "$OUT/$a.$ext" "$OUT/$b.$ext" | head -20 >&2
+      exit 1
+    fi
+  done
+  echo "OK: $label output byte-identical at --jobs=1 and --jobs=$JOBS"
+}
+
+# --- determinism gate on the smoke grid (the one CI runs everywhere) ----
+run_grid 1 smoke-serial --smoke
+run_grid "$JOBS" smoke-parallel --smoke
+check_identical smoke-serial smoke-parallel "smoke grid"
+
+# --- determinism + timing on the perf grid ------------------------------
+T0=$(now); run_grid 1 gate-serial "${GATE_ARGS[@]}"; T1=$(now)
+T2=$(now); run_grid "$JOBS" gate-parallel "${GATE_ARGS[@]}"; T3=$(now)
+check_identical gate-serial gate-parallel "perf grid"
+
+python3 - "$T0" "$T1" "$T2" "$T3" "$JOBS" "$MIN_SPEEDUP" \
+    "$BUILD_DIR/BENCH_sweep_parallel.json" <<'EOF'
+import json, os, sys
+t0, t1, t2, t3, jobs, min_speedup, path = sys.argv[1:8]
+serial_s = float(t1) - float(t0)
+parallel_s = float(t3) - float(t2)
+speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+doc = {
+    "bench": "sweep_parallel",
+    "grid": "perf-gate (mm:n=128;lcs:n=1024;cholesky:n=128 x 2 machines "
+            "x 4 policies x 4 repeats = 96 runs)",
+    "jobs": int(jobs),
+    "serial_wall_s": round(serial_s, 4),
+    "parallel_wall_s": round(parallel_s, 4),
+    "speedup": round(speedup, 3),
+    "min_speedup": float(min_speedup),
+}
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"serial {serial_s:.3f}s, parallel({jobs}) {parallel_s:.3f}s, "
+      f"speedup {speedup:.2f}x (target > {min_speedup}x)")
+if speedup < float(min_speedup):
+    msg = f"speedup {speedup:.2f}x below target {min_speedup}x"
+    if os.environ.get("PERF_GATE_STRICT") == "1":
+        sys.exit(f"FAIL: {msg}")
+    print(f"WARN: {msg} (non-fatal; PERF_GATE_STRICT=1 to enforce)")
+EOF

@@ -16,6 +16,10 @@
 #include "exp/workload.hpp"
 #include "sched/sim_core.hpp"
 
+namespace ndf {
+class Pmh;
+}
+
 namespace ndf::exp {
 
 struct Scenario {
@@ -57,6 +61,28 @@ void validate(const Scenario& s);
 
 /// Scheduler options for one grid point.
 SchedOptions point_options(const Scenario& s, const GridPoint& g);
+
+/// The condensations a grid needs, computed up front: one key per distinct
+/// workload × σ × cache-size profile (in first-use grid order — the same
+/// set the serial runner's rolling cache builds lazily), plus each grid
+/// cell's index into them. The parallel sweep engine builds `keys` once,
+/// concurrently, then fans the cells out against the shared immutable dags;
+/// `keys.size()` is the build count both runners must agree on.
+struct CondensationPlan {
+  struct Key {
+    std::size_t workload = 0;         ///< index into scenario.workloads
+    std::size_t sigma = 0;            ///< index into scenario.sigmas
+    std::vector<double> sizes;        ///< level_cache_sizes of the machine
+  };
+  std::vector<Key> keys;
+  std::vector<std::size_t> cell;      ///< cell[i] = key index of grid[i]
+};
+
+/// `machines[j]` must be the built Pmh of `s.machines[j]`; `grid` must be
+/// expand_grid(s) (indices are trusted, not re-validated).
+CondensationPlan plan_condensations(const Scenario& s,
+                                    const std::vector<GridPoint>& grid,
+                                    const std::vector<Pmh>& machines);
 
 /// One executed grid point: the resolved coordinates plus the run's stats.
 struct RunPoint {

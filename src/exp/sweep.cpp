@@ -1,13 +1,35 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "pmh/presets.hpp"
 #include "sched/condensed_dag.hpp"
 #include "sched/registry.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ndf::exp {
+
+namespace {
+
+/// Coordinates + stats for one executed cell — identical fields on both
+/// execution paths so they cannot drift apart.
+RunPoint make_run_point(const Scenario& s, const GridPoint& g, const Pmh& m,
+                        const SchedOptions& opts) {
+  RunPoint pt;
+  pt.workload = s.workloads[g.workload];
+  pt.machine = s.machines[g.machine];
+  pt.machine_desc = m.to_string();
+  pt.policy = s.policies[g.policy];
+  pt.sigma = opts.sigma;
+  pt.alpha_prime = opts.alpha_prime;
+  pt.repeat = g.repeat;
+  pt.seed = opts.seed;
+  return pt;
+}
+
+}  // namespace
 
 const std::vector<RunPoint>& Sweep::run() {
   if (ran_) return results_;
@@ -22,8 +44,25 @@ const std::vector<RunPoint>& Sweep::run() {
   for (const std::string& spec : scenario_.machines)
     machines.push_back(make_pmh(spec));
 
-  results_.reserve(grid_size(scenario_));
   const std::vector<GridPoint> grid = expand_grid(scenario_);
+  const std::size_t jobs =
+      std::min(jobs_ == 0 ? ThreadPool::default_jobs() : jobs_,
+               std::max<std::size_t>(grid.size(), 1));
+  if (jobs <= 1)
+    run_serial(machines, grid);
+  else
+    run_parallel(jobs, machines, grid);
+
+  // Only a completed grid counts as run: a throw above (bad scenario, bad
+  // machine spec, a failure inside a worker) must not poison this object
+  // into returning a partial or empty result set as if the sweep succeeded.
+  ran_ = true;
+  return results_;
+}
+
+void Sweep::run_serial(const std::vector<Pmh>& machines,
+                       const std::vector<GridPoint>& grid) {
+  results_.reserve(grid.size());
 
   // Condensation cache for the current (workload, σ): one entry per
   // distinct cache-size profile among the machines. The grid is expanded
@@ -67,23 +106,86 @@ const std::vector<RunPoint>& Sweep::run() {
     const auto policy = make_scheduler(scenario_.policies[g.policy], opts);
     SimCore core(*dag, m, opts);
 
-    RunPoint pt;
-    pt.workload = scenario_.workloads[g.workload];
-    pt.machine = scenario_.machines[g.machine];
-    pt.machine_desc = m.to_string();
-    pt.policy = scenario_.policies[g.policy];
-    pt.sigma = opts.sigma;
-    pt.alpha_prime = opts.alpha_prime;
-    pt.repeat = g.repeat;
-    pt.seed = opts.seed;
+    RunPoint pt = make_run_point(scenario_, g, m, opts);
     pt.stats = core.run(*policy);
     results_.push_back(std::move(pt));
   }
-  // Only a completed grid counts as run: a throw above (bad scenario, bad
-  // machine spec) must not poison this object into returning a partial or
-  // empty result set as if the sweep succeeded.
-  ran_ = true;
-  return results_;
+}
+
+void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
+                         const std::vector<GridPoint>& grid) {
+  const CondensationPlan plan = plan_condensations(scenario_, grid, machines);
+
+  // Shared immutable inputs of the fan-out. Built into slots pre-sized in
+  // deterministic plan order; each slot is written by exactly one task.
+  std::vector<std::unique_ptr<Workload>> workloads(scenario_.workloads.size());
+  std::vector<std::unique_ptr<CondensedDag>> dags(plan.keys.size());
+  std::vector<RunPoint> results(grid.size());
+
+  // Declared after everything the tasks touch: if a phase throws, the
+  // pool's destructor drains and joins before any of the data above is
+  // torn down.
+  ThreadPool pool(jobs);
+
+  // Phase 1: build each workload the grid references exactly once
+  // (elaboration is expensive; distinct workloads are independent).
+  {
+    std::vector<char> used(scenario_.workloads.size(), 0);
+    for (const CondensationPlan::Key& k : plan.keys) used[k.workload] = 1;
+    std::vector<std::future<void>> futs;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      if (!used[w]) continue;
+      futs.push_back(pool.submit([this, w, &workloads] {
+        workloads[w] = std::make_unique<Workload>(scenario_.workloads[w]);
+      }));
+    }
+    wait_all(futs);
+  }
+
+  // Phase 2: build each distinct workload × σ × cache-profile condensation
+  // exactly once — the same invariant the serial path's rolling cache
+  // enforces, here made explicit by the plan. The dags then fan out below
+  // as shared immutable inputs.
+  {
+    std::vector<std::future<void>> futs;
+    futs.reserve(plan.keys.size());
+    for (std::size_t k = 0; k < plan.keys.size(); ++k) {
+      futs.push_back(pool.submit([this, k, &plan, &workloads, &dags] {
+        const CondensationPlan::Key& key = plan.keys[k];
+        dags[k] = std::make_unique<CondensedDag>(
+            workloads[key.workload]->graph(), key.sizes,
+            scenario_.sigmas[key.sigma]);
+      }));
+    }
+    wait_all(futs);
+  }
+  condensations_ = plan.keys.size();
+
+  // Phase 3: execute every grid cell. All mutable state (SimCore, policy,
+  // stats) is worker-local; each task writes only its own grid slot, so
+  // the merged vector is in expand_grid order and emitter output is
+  // byte-identical to the serial runner's.
+  {
+    std::vector<std::future<void>> futs;
+    futs.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      futs.push_back(
+          pool.submit([this, i, &grid, &plan, &machines, &dags, &results] {
+            const GridPoint& g = grid[i];
+            const Pmh& m = machines[g.machine];
+            const SchedOptions opts = point_options(scenario_, g);
+            const auto policy =
+                make_scheduler(scenario_.policies[g.policy], opts);
+            SimCore core(*dags[plan.cell[i]], m, opts);
+            RunPoint pt = make_run_point(scenario_, g, m, opts);
+            pt.stats = core.run(*policy);
+            results[i] = std::move(pt);
+          }));
+    }
+    wait_all(futs);
+  }
+
+  results_ = std::move(results);
 }
 
 }  // namespace ndf::exp

@@ -5,8 +5,20 @@
 // pre-split code rebuilt it inside every run; on a 4-policy × 7-machine
 // scaling sweep that was 28 elaborations+decompositions instead of 1.
 //
+// Grid cells are independent once their condensation exists, so the runner
+// executes them on a thread pool (support/thread_pool.hpp): shared
+// condensations are built concurrently first, then cells fan out with all
+// per-run state (SimCore, policy, stats) worker-local, and each result is
+// written into its grid slot — the result vector is in expand_grid order
+// regardless of completion order, so emitter output is byte-identical to
+// the serial runner's. `jobs == 1` bypasses the pool entirely and runs the
+// legacy serial loop (also the path with the smallest memory footprint:
+// it keeps at most one workload's dags alive, where the parallel engine
+// holds every workload and condensation the grid needs at once).
+//
 // condensations_built() exposes the actual build count so tests can assert
-// the reuse invariant ("exactly once per workload × σ × cache profile").
+// the reuse invariant ("exactly once per workload × σ × cache profile") —
+// both execution paths must report the same number.
 #pragma once
 
 #include <cstddef>
@@ -17,7 +29,12 @@ namespace ndf::exp {
 
 class Sweep {
  public:
-  explicit Sweep(Scenario s) : scenario_(std::move(s)) {}
+  /// `jobs` is the worker count for grid execution: 0 (the default) means
+  /// one worker per hardware thread, 1 forces the legacy serial path, and
+  /// any value is clamped to the grid size so tiny sweeps don't spawn
+  /// threads they cannot feed.
+  explicit Sweep(Scenario s, std::size_t jobs = 0)
+      : scenario_(std::move(s)), jobs_(jobs) {}
 
   /// Expands and executes the grid (first call; later calls return the
   /// cached results). Points are emitted in expand_grid order.
@@ -29,9 +46,17 @@ class Sweep {
   /// Number of CondensedDags this sweep built (== distinct
   /// workload × σ × cache-size-profile combinations touched).
   std::size_t condensations_built() const { return condensations_; }
+  /// The worker count requested at construction (0 = auto).
+  std::size_t jobs() const { return jobs_; }
 
  private:
+  void run_serial(const std::vector<Pmh>& machines,
+                  const std::vector<GridPoint>& grid);
+  void run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
+                    const std::vector<GridPoint>& grid);
+
   Scenario scenario_;
+  std::size_t jobs_ = 0;
   std::vector<RunPoint> results_;
   std::size_t condensations_ = 0;
   bool ran_ = false;

@@ -1,0 +1,52 @@
+#include "support/thread_pool.hpp"
+
+namespace ndf {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  NDF_CHECK_MSG(threads >= 1,
+                "thread pool needs at least one worker (got 0)");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    NDF_CHECK_MSG(!stopping_, "submit on a thread pool being destroyed");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-on-destruction: exit only once the queue is empty, so every
+      // task submitted before the destructor ran still executes.
+      if (queue_.empty()) return;
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+std::size_t ThreadPool::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::size_t(hw);
+}
+
+}  // namespace ndf

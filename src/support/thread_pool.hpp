@@ -1,0 +1,87 @@
+// A small reusable fixed-size thread pool: FIFO task queue, futures for
+// results and exception propagation, drain-on-destruction semantics. This
+// is the execution substrate of the parallel sweep engine (src/exp/sweep),
+// but it is deliberately generic — any subsystem that wants to fan
+// independent work across cores can own one.
+//
+// Semantics worth knowing:
+//   - Tasks start in submission order (FIFO); with one worker the pool is
+//     a strict serial executor, which tests exploit.
+//   - A task's exception is captured into its future and rethrown by
+//     future::get(); it never unwinds a worker thread.
+//   - The destructor runs every task still queued, then joins. Queued work
+//     is never silently dropped — a sweep that throws mid-fan-out can let
+//     the pool go out of scope while tasks it no longer cares about are
+//     pending, and they finish before any data they touch is destroyed.
+//   - submit() after destruction has begun is a CheckError (it would race
+//     the drain), not a silent no-op.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ndf {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (>= 1; throws CheckError on 0 — a
+  /// zero-size pool would deadlock every submit).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (every queued task runs), then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `f` and returns the future of its result. The callable runs
+  /// exactly once on some worker; exceptions surface from future::get().
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only and std::function requires copyable
+    // callables, so the task rides in a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Hardware concurrency clamped to >= 1 (the standard allows 0 for
+  /// "unknown"). The default worker count for `--jobs=0` / unset.
+  static std::size_t default_jobs();
+
+ private:
+  void enqueue(std::function<void()> fn);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Waits for every future, then rethrows the first stored exception (in
+/// submission order, so failures are reported deterministically). Waiting
+/// on all before rethrowing matters: the caller's data must not be torn
+/// down while sibling tasks still run.
+template <typename T>
+void wait_all(std::vector<std::future<T>>& futs) {
+  for (auto& f : futs) f.wait();
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace ndf

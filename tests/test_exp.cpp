@@ -8,6 +8,11 @@
 //       for bit, and incompatible dag/machine/σ pairings are rejected
 //   X5  the repeat axis varies only the seed, deterministically
 //   X6  the consolidated JSON/CSV emitters produce well-formed output
+//   X7  the parallel engine: a mid-size grid at --jobs=1/2/8 produces
+//       byte-identical table/JSON/CSV output and the same condensation
+//       count, and the condensation plan matches the serial cache walk
+//   X8  parallel failures surface as the same loud CheckErrors serial ones
+//       do, without poisoning the Sweep into a fake empty success
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -256,6 +261,101 @@ TEST(Sweep, RepeatAxisVariesSeedDeterministically) {  // X5
   for (std::size_t i = 0; i < runs.size(); ++i)
     expect_stats_bit_identical(runs[i].stats, runs2[i].stats,
                                "repeat " + std::to_string(i));
+}
+
+// All three emitters rendered into one string — the byte-level artifact
+// the parallel/serial equivalence tests (and the CI gate) compare.
+std::string emit_everything(const std::vector<exp::RunPoint>& runs) {
+  std::ostringstream os;
+  exp::results_table("stress", runs).print(os);
+  exp::write_sweep_json(os, "stress", runs);
+  exp::write_sweep_csv(os, runs);
+  return os.str();
+}
+
+TEST(Sweep, ParallelOutputIsByteIdenticalToSerial) {  // X7
+  // A mid-size grid exercising every axis: 2 workloads × 2 σ × 2 machines
+  // (distinct cache profiles) × 2 α' × 3 policies × 2 repeats = 96 cells,
+  // 8 condensations.
+  const exp::Scenario s = small_scenario();
+
+  exp::Sweep serial(s, 1);
+  const std::string golden = emit_everything(serial.run());
+
+  for (const std::size_t jobs : {2u, 8u}) {
+    exp::Sweep parallel(s, jobs);
+    const auto& runs = parallel.run();
+    ASSERT_EQ(runs.size(), serial.results().size()) << jobs << " jobs";
+    EXPECT_EQ(parallel.condensations_built(), serial.condensations_built())
+        << jobs << " jobs";
+    EXPECT_EQ(emit_everything(runs), golden) << jobs << " jobs";
+  }
+}
+
+TEST(Sweep, ParallelBuildsEachCondensationExactlyOnce) {  // X7
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=32");
+  // Three machines, one cache profile: p never forces a rebuild.
+  s.machines = {"flat:p=2,m1=768,c1=10", "flat:p=8,m1=768,c1=10", "flat16"};
+  s.policies = {"sb", "ws", "greedy", "serial"};
+  s.sigmas = {0.25, 0.5};
+  exp::Sweep sweep(s, 4);
+  const std::size_t before = CondensedDag::total_builds();
+  const auto& runs = sweep.run();
+  EXPECT_EQ(runs.size(), 24u);
+  // One per σ, shared by all machines and policies — the same count the
+  // serial runner's rolling cache reports.
+  EXPECT_EQ(CondensedDag::total_builds(), before + 2);
+  EXPECT_EQ(sweep.condensations_built(), 2u);
+}
+
+TEST(Scenario, CondensationPlanMatchesSerialCacheWalk) {  // X7
+  const exp::Scenario s = small_scenario();
+  std::vector<Pmh> machines;
+  for (const std::string& spec : s.machines)
+    machines.push_back(make_pmh(spec));
+  const auto grid = exp::expand_grid(s);
+  const exp::CondensationPlan plan =
+      exp::plan_condensations(s, grid, machines);
+  // 2 workloads × 2 σ × 2 distinct profiles.
+  EXPECT_EQ(plan.keys.size(), 8u);
+  ASSERT_EQ(plan.cell.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const exp::CondensationPlan::Key& k = plan.keys[plan.cell[i]];
+    EXPECT_EQ(k.workload, grid[i].workload);
+    EXPECT_EQ(k.sigma, grid[i].sigma);
+    EXPECT_EQ(k.sizes, level_cache_sizes(machines[grid[i].machine]));
+  }
+  // Keys appear in first-use grid order, so the serial walk and the plan
+  // agree not just on the count but on the build sequence.
+  std::size_t seen = 0;
+  for (const std::size_t c : plan.cell)
+    if (c == seen) ++seen;
+  EXPECT_EQ(seen, plan.keys.size());
+}
+
+TEST(Sweep, WorkerFailureSurfacesLoudlyAndDoesNotPoison) {  // X8
+  // A workload spec injected past the parser (validate() deliberately does
+  // not re-check specs) so the failure happens inside a worker task during
+  // the parallel build fan-out — not on the main thread before the pool
+  // exists. wait_all must surface it as the same loud CheckError, after
+  // every sibling task has finished with the shared state.
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=8");
+  s.workloads.push_back(exp::WorkloadSpec{"not-a-workload", 8, 4, false});
+  s.machines = {"flat8"};
+  s.policies = {"sb", "serial"};
+  exp::Sweep sweep(s, 4);
+  try {
+    sweep.run();
+    FAIL() << "expected CheckError from the worker";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown workload 'not-a-workload'"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(sweep.run(), CheckError);  // still throws, no silent empty
+  EXPECT_TRUE(sweep.results().empty());
 }
 
 TEST(Report, EmittersProduceWellFormedOutput) {  // X6

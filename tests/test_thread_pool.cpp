@@ -1,0 +1,101 @@
+// Tests of the reusable thread pool (src/support/thread_pool.hpp):
+//   P1  construction/size, zero-worker rejection, default_jobs sanity
+//   P2  FIFO ordering: one worker makes the pool a strict serial executor
+//   P3  results and exceptions travel through futures; a throwing task
+//       does not poison the pool or unwind a worker
+//   P4  destruction drains the queue — every queued task runs exactly once
+//   P5  many tasks across many workers all run exactly once (wait_all)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace ndf {
+namespace {
+
+TEST(ThreadPool, SizeAndZeroWorkersRejected) {  // P1
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_THROW(ThreadPool(0), CheckError);
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {  // P2
+  std::vector<int> order;
+  {
+    ThreadPool pool(1);
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 64; ++i)
+      futs.push_back(pool.submit([i, &order] { order.push_back(i); }));
+    wait_all(futs);
+  }
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, FuturesCarryResults) {  // P3
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 32; ++i)
+    futs.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesWithoutPoisoningThePool) {  // P3
+  ThreadPool pool(2);
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survived; the pool still runs work after the throw.
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, WaitAllRethrowsFirstFailureInSubmissionOrder) {  // P3
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futs;
+  futs.push_back(pool.submit([] {}));
+  futs.push_back(pool.submit([] { throw std::invalid_argument("second"); }));
+  futs.push_back(pool.submit([] { throw std::runtime_error("third"); }));
+  try {
+    wait_all(futs);
+    FAIL() << "expected the first stored exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "second");
+  }
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedTasks) {  // P4
+  std::atomic<int> ran{0};
+  {
+    // One slow worker guarantees tasks are still queued when the
+    // destructor runs; drain semantics say they all execute anyway.
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i)
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ManyTasksAcrossManyWorkersRunExactlyOnce) {  // P5
+  std::atomic<int> ran{0};
+  ThreadPool pool(8);
+  std::vector<std::future<void>> futs;
+  futs.reserve(500);
+  for (int i = 0; i < 500; ++i)
+    futs.push_back(pool.submit(
+        [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+  wait_all(futs);
+  EXPECT_EQ(ran.load(), 500);
+}
+
+}  // namespace
+}  // namespace ndf
