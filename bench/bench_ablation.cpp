@@ -63,7 +63,7 @@ void base_sweep(bench::Output& out, std::size_t n) {
   Table t("A3: base-case sweep — TRS n=" + std::to_string(n));
   t.set_header({"base", "strands", "span_ND", "span_NP", "Q*(M=768)"});
   for (std::size_t b : {2, 4, 8, 16}) {
-    exp::WorkloadSpec spec{"trs", n, b, false};
+    exp::WorkloadSpec spec{"trs", n, b, false, {}};
     SpawnTree tree = exp::build_workload_tree(spec);
     StrandGraph g = elaborate(tree);
     t.add_row({(long long)b, (long long)tree.strand_count(tree.root()),

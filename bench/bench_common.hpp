@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "exp/workload.hpp"
+#include "nd/dot.hpp"
 #include "sched/registry.hpp"
 #include "support/args.hpp"
 #include "support/fit.hpp"
@@ -47,6 +49,20 @@ inline std::size_t jobs_flag(const Args& args) {
 
 inline void heading(const std::string& id, const std::string& claim) {
   std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+/// `--dump-dot=<path>` for drivers that take workload specs: writes the
+/// strand DAG of `first` (generated or named, via nd/dot) so it can be
+/// eyeballed, and says where it went. No-op when the flag is absent.
+inline void dump_dot_flag(const Args& args, const exp::WorkloadSpec& first) {
+  const std::string path = args.get("dump-dot", std::string());
+  if (path.empty()) return;
+  const exp::Workload w(first);
+  std::ofstream os(path);
+  NDF_CHECK_MSG(bool(os), "cannot write --dump-dot=" << path);
+  os << to_dot(w.graph());
+  std::cout << "wrote strand DAG of " << w.spec().label() << " to " << path
+            << "\n";
 }
 
 inline void print_fit(const std::string& label, std::vector<double> xs,

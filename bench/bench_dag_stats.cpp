@@ -1,16 +1,18 @@
-// E12 — structural comparison of every algorithm's DAG in the two models:
-// strand counts, work/span/parallelism, and wavefront (parallelism
-// profile) widths. This is the table form of the paper's Figs. 1, 6, 8,
-// 11: the same spawn tree, drastically different available parallelism.
-#include "algos/cholesky.hpp"
-#include "algos/fw1d.hpp"
-#include "algos/fw2d.hpp"
-#include "algos/gotoh.hpp"
-#include "algos/lcs.hpp"
-#include "algos/lu.hpp"
-#include "algos/matmul.hpp"
-#include "algos/trs.hpp"
+// E12 — structural comparison of workload DAGs in the two models: strand
+// counts, work/span/parallelism, and wavefront (parallelism profile)
+// widths. This is the table form of the paper's Figs. 1, 6, 8, 11: the
+// same spawn tree, drastically different available parallelism.
+//
+// Driven by the workload registry (src/exp/workload), so any spec works —
+// the eight transcribed algorithms and generated "gen:family=..."
+// workloads alike. Each spec's tree is elaborated twice (ND and the NP
+// serial elision); a spec's own `np` flag is irrelevant here.
+//
+//   bench_dag_stats                                  # the paper's table
+//   bench_dag_stats --workloads='gen:family=wavefront,n=32;lcs:n=64'
+//   bench_dag_stats --json=BENCH_dag_stats.json
 #include "bench_common.hpp"
+#include "exp/workload.hpp"
 #include "nd/drs.hpp"
 #include "nd/stats.hpp"
 
@@ -18,34 +20,48 @@ using namespace ndf;
 
 namespace {
 
-void row(Table& t, const std::string& name, const SpawnTree& tree) {
+// The historical E12 rows (base-8 trees at the paper's sizes).
+const char* kPaperSpecs =
+    "mm:n=64,base=8;trs:n=64,base=8;cholesky:n=64,base=8;lu:n=64,base=8;"
+    "lcs:n=256,base=8;gotoh:n=256,base=8;fw1d:n=256,base=8;fw2d:n=64,base=8";
+
+void row(Table& t, const exp::WorkloadSpec& spec) {
+  const SpawnTree tree = exp::build_workload_tree(spec);
   const DagStats nd = compute_stats(elaborate(tree));
   const DagStats np = compute_stats(elaborate(tree, {.np_mode = true}));
-  t.add_row({name, (long long)nd.strands, nd.work, nd.span, np.span,
+  t.add_row({spec.label(), (long long)nd.strands, nd.work, nd.span, np.span,
              nd.parallelism, np.parallelism,
              (long long)nd.max_level_width, (long long)np.max_level_width});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  for (const std::string& name : args.names())
+    NDF_CHECK_MSG(name == "workloads" || name == "json",
+                  "unknown flag --" << name
+                                    << " (see the header of "
+                                       "bench_dag_stats.cpp)");
+
+  bench::Output out("dag_stats", args);
   bench::heading("E12 dag-stats",
                  "Same spawn trees, two semantics: the ND elaboration's "
                  "parallelism (T1/T_inf) and wavefront width vs the NP "
                  "serial elision.");
+  const bool custom = args.has("workloads");
+  const auto specs = exp::parse_workload_list(
+      args.get("workloads", std::string(kPaperSpecs)));
+  NDF_CHECK_MSG(!specs.empty(), "no workloads — pass --workloads=...");
+
   Table t("algorithm DAGs (ND vs NP)");
-  t.set_header({"algo", "strands", "work", "span_ND", "span_NP", "par_ND",
-                "par_NP", "width_ND", "width_NP"});
-  row(t, "MM n=64", make_mm_tree(64, 8));
-  row(t, "TRS n=64", make_trs_tree(64, 8));
-  row(t, "CHO n=64", make_cholesky_tree(64, 8));
-  row(t, "LU n=64", make_lu_tree(64, 8));
-  row(t, "LCS n=256", make_lcs_tree(256, 8));
-  row(t, "GOTOH n=256", make_gotoh_tree(256, 8));
-  row(t, "FW1D n=256", make_fw1d_tree(256, 8));
-  row(t, "FW2D n=64 (NP substrate)", make_fw2d_tree(64, 8));
-  t.print(std::cout);
-  std::cout << "Expected shape: par_ND >> par_NP for TRS/CHO/LCS/GOTOH/FW1D "
-               "(the paper's algorithms); MM similar in both models.\n";
+  t.set_header({"workload", "strands", "work", "span_ND", "span_NP",
+                "par_ND", "par_NP", "width_ND", "width_NP"});
+  for (const exp::WorkloadSpec& s : specs) row(t, s);
+  out.emit(t);
+  if (!custom)
+    std::cout << "Expected shape: par_ND >> par_NP for TRS/CHO/LCS/GOTOH/"
+                 "FW1D (the paper's algorithms); MM similar in both "
+                 "models.\n";
   return 0;
 }

@@ -12,7 +12,8 @@
 //   (one line; wrapped here for readability)
 //
 // Flags:
-//   --workloads=<spec;spec;...>  see src/exp/workload.hpp
+//   --workloads=<spec;spec;...>  see src/exp/workload.hpp (named algos and
+//                                generated "gen:family=..." specs alike)
 //   --machines=<spec;spec;...>   see src/pmh/presets.hpp
 //   --sched=<name,name,...>      registry policies (default all four)
 //   --sigma=<x,x,...>            dilation values in (0,1), default 1/3
@@ -22,9 +23,12 @@
 //                                (default), 1 = legacy serial path; output
 //                                is byte-identical at every n
 //   --json=<path> --csv=<path>   consolidated emitters
+//   --dump-dot=<path>            DOT of the first workload's strand DAG
+//                                (nd/dot), then run the sweep as usual
 //   --name=<id>                  sweep id in the outputs
 //   --smoke                      small fixed grid for CI (fast)
-//   --list                       print workloads/machines/policies and exit
+//   --list                       print workloads/machines/policies/gen
+//                                families and exit
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,6 +36,7 @@
 #include "bench_common.hpp"
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
+#include "gen/gen.hpp"
 #include "pmh/presets.hpp"
 #include "sched/registry.hpp"
 
@@ -61,6 +66,11 @@ void list_everything() {
   for (const auto& w : exp::registered_workloads())
     std::cout << "  " << w.name << " — " << w.description
               << " (default n=" << w.default_n << ")\n";
+  std::cout << "\ngenerated workloads "
+               "(--workloads=gen:family=<f>[,key=value...][,np][;...]):\n";
+  for (const auto& f : gen::registered_families())
+    std::cout << "  " << f.name << " — " << f.description << " (" << f.keys
+              << ")\n";
   std::cout << "\nmachine presets (--machines=<preset or "
                "flat:p=,m1=,c1= / twotier:s=,c=,m1=,m2=,c1=,c2=>[;...]):\n";
   for (const auto& m : pmh_presets())
@@ -81,7 +91,8 @@ int main(int argc, char** argv) {
                       name == "sched" || name == "sigma" || name == "alpha" ||
                       name == "repeat" || name == "seed" || name == "jobs" ||
                       name == "json" || name == "csv" || name == "name" ||
-                      name == "smoke" || name == "list",
+                      name == "smoke" || name == "list" ||
+                      name == "dump-dot",
                   "unknown flag --" << name
                                     << " (see the header of ndf_sweep.cpp or "
                                        "--list)");
@@ -93,11 +104,14 @@ int main(int argc, char** argv) {
   exp::Scenario s;
   const bool smoke = args.get("smoke", false);
   if (smoke) {
-    // Small fixed grid CI can afford on every push: three workloads (two
-    // ND, one NP variant), two machine shapes, all four policies, two σ, a
-    // repeat axis for ws variance — 96 runs.
+    // Small fixed grid CI can afford on every push: three transcribed
+    // workloads (two ND, one NP variant) plus two generated ones (a random
+    // series-parallel tree and a wavefront), two machine shapes, all four
+    // policies, two σ, a repeat axis for ws variance — 160 runs.
     s.name = "smoke";
-    s.workloads = exp::parse_workload_list("mm:n=32;lcs:n=128;trs:n=32,np");
+    s.workloads = exp::parse_workload_list(
+        "mm:n=32;lcs:n=128;trs:n=32,np;"
+        "gen:family=sp,depth=6,fan=3,seed=7;gen:family=wavefront,n=12");
     s.machines = {"flat:p=8,m1=192,c1=10", "deep2x4"};
     s.policies = {"sb", "ws", "greedy", "serial"};
     s.sigmas = {1.0 / 3.0, 0.5};
@@ -134,6 +148,8 @@ int main(int argc, char** argv) {
   NDF_CHECK_MSG(!s.machines.empty(),
                 "no machines — pass --machines=... or --smoke "
                 "(--list shows what exists)");
+
+  bench::dump_dot_flag(args, s.workloads.front());
 
   exp::Sweep sweep(std::move(s), jobs);
   const auto& runs = sweep.run();

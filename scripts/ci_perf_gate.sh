@@ -26,7 +26,7 @@ OUT="$BUILD_DIR/perf-gate"
 mkdir -p "$OUT"
 
 GATE_ARGS=(--name=perf-gate
-           --workloads='mm:n=128;lcs:n=1024;cholesky:n=128'
+           --workloads='mm:n=128;lcs:n=1024;cholesky:n=128;gen:family=sp,depth=8,fan=4,seed=7;gen:family=wavefront,n=32'
            --machines='flat16;deep4x4'
            --sched=sb,ws,greedy,serial --sigma=0.33 --repeat=4)
 
@@ -71,8 +71,8 @@ parallel_s = float(t3) - float(t2)
 speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
 doc = {
     "bench": "sweep_parallel",
-    "grid": "perf-gate (mm:n=128;lcs:n=1024;cholesky:n=128 x 2 machines "
-            "x 4 policies x 4 repeats = 96 runs)",
+    "grid": "perf-gate (mm:n=128;lcs:n=1024;cholesky:n=128 + 2 generated "
+            "workloads x 2 machines x 4 policies x 4 repeats = 160 runs)",
     "jobs": int(jobs),
     "serial_wall_s": round(serial_s, 4),
     "parallel_wall_s": round(parallel_s, 4),

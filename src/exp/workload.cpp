@@ -3,7 +3,9 @@
 #include <cstdlib>
 #include <functional>
 #include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "algos/cholesky.hpp"
 #include "algos/fw1d.hpp"
@@ -61,6 +63,12 @@ std::size_t parse_size(const std::string& spec, const std::string& key,
 }  // namespace
 
 std::string WorkloadSpec::label() const {
+  if (algo == "gen") {
+    NDF_CHECK_MSG(gen, "gen workload spec has no generator parameters");
+    std::string s = gen->label();
+    if (np) s += ",np";
+    return s;
+  }
   std::ostringstream os;
   os << algo << ":n=" << n;
   if (base != 4) os << ",base=" << base;
@@ -79,18 +87,34 @@ WorkloadSpec parse_workload(const std::string& spec) {
   WorkloadSpec w;
   const auto colon = spec.find(':');
   w.algo = spec.substr(0, colon);
-  const auto it = builders().find(w.algo);
-  NDF_CHECK_MSG(it != builders().end(),
+
+  // Validate the algo name first, so a typo'd name is reported as such
+  // even when its parameters are malformed too.
+  const auto algo_it = builders().find(w.algo);
+  NDF_CHECK_MSG(w.algo == "gen" || algo_it != builders().end(),
                 "unknown workload '" << w.algo << "' in '" << spec
                                      << "' (registered: " << known_workloads()
-                                     << ")");
-  w.n = it->second.default_n;
+                                     << ", or gen:family=...)");
+
+  // One pass over the parameter items: `np` flags are consumed here (they
+  // apply to every workload kind), everything else is collected as
+  // key=value pairs. Duplicates are rejected loudly for both kinds — a
+  // spec like "mm:n=4,n=8" silently taking the last value is exactly the
+  // kind of typo that produces a plausible-looking wrong sweep.
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::set<std::string> seen;
+  const auto claim = [&](const std::string& key) {
+    NDF_CHECK_MSG(seen.insert(key).second,
+                  "duplicate workload parameter '" << key << "' in '" << spec
+                                                   << "'");
+  };
   if (colon != std::string::npos) {
     std::stringstream ss(spec.substr(colon + 1));
     std::string item;
     while (std::getline(ss, item, ',')) {
       if (item.empty()) continue;
       if (item == "np") {
+        claim("np");
         w.np = true;
         continue;
       }
@@ -100,19 +124,35 @@ WorkloadSpec parse_workload(const std::string& spec) {
                                                << "' (want key=value or np)");
       const std::string key = item.substr(0, eq);
       const std::string val = item.substr(eq + 1);
-      if (key == "n") {
-        w.n = parse_size(spec, key, val);
-      } else if (key == "base") {
-        w.base = parse_size(spec, key, val);
-      } else if (key == "np") {
+      claim(key);
+      if (key == "np") {
         NDF_CHECK_MSG(val == "0" || val == "1",
                       "workload parameter np in '" << spec << "' must be 0/1");
         w.np = val == "1";
       } else {
-        NDF_CHECK_MSG(false, "unknown workload parameter '"
-                                 << key << "' in '" << spec
-                                 << "' (valid: n, base, np)");
+        kv.emplace_back(key, val);
       }
+    }
+  }
+
+  if (w.algo == "gen") {
+    w.gen = gen::parse_gen_params(kv, spec);
+    // Surface the size parameter in the n column of tables/JSON/CSV for
+    // families that have one (chain, wavefront); 0 means not applicable.
+    if (gen::family_accepts(w.gen->family, "n")) w.n = w.gen->n;
+    return w;
+  }
+
+  w.n = algo_it->second.default_n;
+  for (const auto& [key, val] : kv) {
+    if (key == "n") {
+      w.n = parse_size(spec, key, val);
+    } else if (key == "base") {
+      w.base = parse_size(spec, key, val);
+    } else {
+      NDF_CHECK_MSG(false, "unknown workload parameter '"
+                               << key << "' in '" << spec
+                               << "' (valid: n, base, np)");
     }
   }
   return w;
@@ -128,6 +168,10 @@ std::vector<WorkloadSpec> parse_workload_list(const std::string& specs) {
 }
 
 SpawnTree build_workload_tree(const WorkloadSpec& spec) {
+  if (spec.algo == "gen") {
+    NDF_CHECK_MSG(spec.gen, "gen workload spec has no generator parameters");
+    return gen::generate(*spec.gen);
+  }
   const auto it = builders().find(spec.algo);
   NDF_CHECK_MSG(it != builders().end(),
                 "unknown workload '" << spec.algo

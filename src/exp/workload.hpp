@@ -4,28 +4,41 @@
 //
 //   <algo>[:n=<size>[,base=<base>][,np]]      e.g. "mm:n=64", "trs:n=48,np"
 //
+// or a synthetic one from the generator subsystem (src/gen/):
+//
+//   gen:family=<f>[,key=value...][,np]        e.g. "gen:family=sp,depth=8,
+//                                                   fan=4,seed=7"
+//
 // `np` selects the nested-parallel elaboration (the paper's comparison
-// baseline) instead of the nested-dataflow one. Specs round-trip through
-// WorkloadSpec::label(), which is the key used in sweep tables and JSON.
+// baseline) instead of the nested-dataflow one. Unknown algos, unknown or
+// inapplicable keys, and duplicate keys all fail loudly, listing what is
+// accepted. Specs round-trip through WorkloadSpec::label(), which is the
+// key used in sweep tables and JSON.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "gen/gen.hpp"
 #include "nd/drs.hpp"
 #include "nd/spawn_tree.hpp"
 
 namespace ndf::exp {
 
 struct WorkloadSpec {
-  std::string algo;      ///< registry key ("mm", "trs", "cholesky", ...)
+  std::string algo;      ///< registry key ("mm", ..., or "gen")
   std::size_t n = 0;     ///< problem size (0 = the algo's default)
   std::size_t base = 4;  ///< base-case size
   bool np = false;       ///< nested-parallel elaboration instead of ND
 
-  /// Canonical spec string, e.g. "mm:n=64" or "trs:n=48,np"
-  /// (base is printed only when it differs from the default 4).
+  /// Generator parameters; set exactly when algo == "gen".
+  std::optional<gen::GenSpec> gen;
+
+  /// Canonical spec string, e.g. "mm:n=64", "trs:n=48,np" or
+  /// "gen:family=sp,depth=8,fan=4,seed=7" (defaults are not printed;
+  /// base only when it differs from 4).
   std::string label() const;
 };
 

@@ -1,0 +1,31 @@
+// Deterministic structured workload families: shapes chosen to hit known
+// scheduler corner cases, each a pure function of its size parameters.
+//
+//  * chain      — n strands in series: zero parallelism, the serial-policy
+//                 identity case and a latency floor for every other policy.
+//  * forkjoin   — depth stages of a fan-wide par in series: the classic
+//                 nested-parallel barrier shape (no dataflow arrows at all).
+//  * diamond    — depth stacked fork/join diamonds (source → fan middles →
+//                 sink): maximal join pressure on readiness propagation.
+//  * wavefront  — an n×n grid where cell (i,j) depends on (i-1,j) and
+//                 (i,j-1), built from generated per-column fire rules: the
+//                 dataflow-heavy shape the ND model exists for (LCS's
+//                 dependence structure without its recursive decomposition).
+//
+// All strands carry `work` instructions and a synthetic footprint wired to
+// the real dependences, so analysis/determinacy verifies each family's
+// elaboration (see gen.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "nd/spawn_tree.hpp"
+
+namespace ndf::gen {
+
+SpawnTree make_chain_tree(std::size_t n, double work);
+SpawnTree make_forkjoin_tree(std::size_t depth, std::size_t fan, double work);
+SpawnTree make_diamond_tree(std::size_t depth, std::size_t fan, double work);
+SpawnTree make_wavefront_tree(std::size_t n, double work);
+
+}  // namespace ndf::gen

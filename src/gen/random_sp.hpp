@@ -1,0 +1,15 @@
+// Seeded random series-parallel spawn trees with legal dataflow
+// cross-edges. Every tree is a pure function of the GenSpec (structure,
+// work, fire rules and synthetic footprints all come from one
+// SplitMix64-seeded xoshiro256** stream) — identical specs are
+// bit-identical across runs and processes.
+#pragma once
+
+#include "gen/gen.hpp"
+
+namespace ndf::gen {
+
+/// spec.family must be "sp". Parameter ranges are validated loudly.
+SpawnTree make_random_sp_tree(const GenSpec& spec);
+
+}  // namespace ndf::gen

@@ -20,6 +20,11 @@ class Pedigree {
   Pedigree(std::initializer_list<std::uint8_t> ix) : ix_(ix) {
     for (auto i : ix_) NDF_CHECK_MSG(i >= 1, "pedigree indices are 1-based");
   }
+  /// Dynamic-length form for programmatically built rule tables (the
+  /// synthetic workload generator samples pedigrees at runtime).
+  explicit Pedigree(std::vector<std::uint8_t> ix) : ix_(std::move(ix)) {
+    for (auto i : ix_) NDF_CHECK_MSG(i >= 1, "pedigree indices are 1-based");
+  }
 
   std::size_t depth() const { return ix_.size(); }
   bool empty() const { return ix_.empty(); }

@@ -46,4 +46,16 @@ std::vector<RuleIssue> validate_rules(const FireRules& rules) {
   return issues;
 }
 
+void expect_valid_rules(const FireRules& rules) {
+  const std::vector<RuleIssue> issues = validate_rules(rules);
+  if (issues.empty()) return;
+  std::string msg;
+  for (const RuleIssue& i : issues) {
+    if (!msg.empty()) msg += "; ";
+    msg += rules.name(i.type) + ": " + i.message;
+  }
+  NDF_CHECK_MSG(false, "invalid fire-rule table (" << issues.size()
+                                                   << " issue(s)): " << msg);
+}
+
 }  // namespace ndf

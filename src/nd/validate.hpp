@@ -24,4 +24,9 @@ struct RuleIssue {
 ///    DRS would rewrite forever between the same two nodes).
 std::vector<RuleIssue> validate_rules(const FireRules& rules);
 
+/// Throwing form: CheckError listing every issue (type name + message).
+/// Programmatic rule builders (src/gen/) call this as a rejection check
+/// before a generated table ever reaches the DRS.
+void expect_valid_rules(const FireRules& rules);
+
 }  // namespace ndf

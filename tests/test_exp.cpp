@@ -80,8 +80,58 @@ TEST(Workload, BadSpecsFailLoudlyListingRegistry) {  // X1
   }
   EXPECT_THROW(exp::parse_workload("mm:n=-3"), CheckError);
   EXPECT_THROW(exp::parse_workload("mm:n=abc"), CheckError);
-  EXPECT_THROW(exp::parse_workload("mm:bogus=1"), CheckError);
   EXPECT_GE(exp::registered_workloads().size(), 8u);
+
+  // A typo'd algo name is reported as such even when its parameters are
+  // malformed too (the name is validated before the items).
+  try {
+    exp::parse_workload("bogus:zzz");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown workload 'bogus'"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Unknown keys name the accepted ones; duplicate keys (a typo that would
+  // otherwise silently take the last value) are rejected loudly too.
+  try {
+    exp::parse_workload("mm:bogus=1");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown workload parameter 'bogus'"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("valid: n, base, np"), std::string::npos) << msg;
+  }
+  try {
+    exp::parse_workload("mm:n=4,n=8");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate workload parameter 'n'"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(exp::parse_workload("mm:np,np"), CheckError);
+  EXPECT_THROW(exp::parse_workload("mm:np=1,np"), CheckError);
+  EXPECT_THROW(exp::parse_workload("gen:family=sp,seed=1,seed=2"),
+               CheckError);
+}
+
+TEST(Workload, GenSpecsAreFirstClass) {  // X1
+  // "gen:" specs ride the same parser/registry path as named algos; the
+  // generator itself is covered by tests/test_gen.cpp.
+  const exp::WorkloadSpec g =
+      exp::parse_workload("gen:family=sp,depth=5,fan=4,seed=3");
+  ASSERT_TRUE(g.gen);
+  EXPECT_EQ(g.algo, "gen");
+  EXPECT_EQ(g.label(), "gen:family=sp,depth=5,fan=4,seed=3");
+  EXPECT_EQ(exp::parse_workload(g.label()).label(), g.label());
+
+  exp::Workload w(g);
+  EXPECT_GT(w.graph().num_vertices(), 0u);
+  EXPECT_GT(w.tree().work_of(w.tree().root()), 0.0);
 }
 
 TEST(Workload, BuildsTreeAndGraph) {  // X1
@@ -342,7 +392,7 @@ TEST(Sweep, WorkerFailureSurfacesLoudlyAndDoesNotPoison) {  // X8
   // every sibling task has finished with the shared state.
   exp::Scenario s;
   s.workloads = exp::parse_workload_list("mm:n=8");
-  s.workloads.push_back(exp::WorkloadSpec{"not-a-workload", 8, 4, false});
+  s.workloads.push_back(exp::WorkloadSpec{"not-a-workload", 8, 4, false, {}});
   s.machines = {"flat8"};
   s.policies = {"sb", "serial"};
   exp::Sweep sweep(s, 4);
