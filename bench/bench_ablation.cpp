@@ -7,7 +7,8 @@
 // through the same workload registry.
 // Flags: --n=<size> --sched=<policy> (default sb; A1 applies to any
 // registered policy, A2 is sb-specific), --json=<path>, --jobs=<n> (sweep
-// workers; 0 = hardware concurrency).
+// workers; 0 = hardware concurrency), --misses (A1 grows measured Q_L1 +
+// comm_cost columns; off keeps the legacy output byte-identical).
 #include <cmath>
 
 #include "analysis/pcc.hpp"
@@ -21,21 +22,34 @@ namespace {
 
 void sigma_sweep(bench::Output& out, const std::string& policy,
                  const std::string& name, const std::string& workload,
-                 const std::string& machine, std::size_t jobs) {
+                 const std::string& machine, std::size_t jobs, bool misses) {
   exp::Scenario sc;
   sc.name = "ablation/sigma";
   sc.workloads = {exp::parse_workload(workload)};
   sc.machines = {machine};
   sc.policies = {policy};
   sc.sigmas = {0.1, 0.2, 1.0 / 3.0, 0.5, 0.8};
+  sc.measure_misses = misses;
   exp::Sweep sweep(std::move(sc), jobs);
   const auto& runs = sweep.run();
 
   Table t("A1: sigma sweep — " + name + " on " + runs[0].machine_desc);
-  t.set_header({"sigma", "makespan", "misses_L1", "utilization"});
-  for (const exp::RunPoint& r : runs)
-    t.add_row({r.sigma, r.stats.makespan, r.stats.misses[0],
-               r.stats.utilization});
+  std::vector<std::string> header{"sigma", "makespan", "misses_L1",
+                                  "utilization"};
+  if (misses) {
+    header.push_back("Q_L1");
+    header.push_back("comm_cost");
+  }
+  t.set_header(std::move(header));
+  for (const exp::RunPoint& r : runs) {
+    std::vector<Cell> row{r.sigma, r.stats.makespan, r.stats.misses[0],
+                          r.stats.utilization};
+    if (misses) {
+      row.push_back(r.stats.measured_misses[0]);
+      row.push_back(r.stats.comm_cost);
+    }
+    t.add_row(std::move(row));
+  }
   out.emit(t);
 }
 
@@ -77,19 +91,23 @@ void base_sweep(bench::Output& out, std::size_t n) {
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  bench::reject_unknown_flags(args, {"n", "sched", "jobs", "misses", "json"},
+                              "see the header of bench_ablation.cpp");
   const std::size_t n = std::size_t(args.get("n", 64LL));
   const std::string policy = bench::single_policy(args, "sb");
   const std::size_t jobs = bench::jobs_flag(args);
+  const bool misses = bench::misses_flag(args);
   bench::Output out("EA ablations", args);
   bench::heading("EA ablations",
                  "Design-choice ablations: boundedness sigma, allocation "
                  "exponent, base-case size.");
   sigma_sweep(out, policy, "TRS n=" + std::to_string(n),
-              "trs:n=" + std::to_string(n), "flat8", jobs);
+              "trs:n=" + std::to_string(n), "flat8", jobs, misses);
   alpha_sweep(out, "TRS n=" + std::to_string(n),
               "trs:n=" + std::to_string(n), "deep2x4", jobs);
   sigma_sweep(out, policy, "LCS n=" + std::to_string(4 * n),
-              "lcs:n=" + std::to_string(4 * n), "flat:p=8,m1=256,c1=10", jobs);
+              "lcs:n=" + std::to_string(4 * n), "flat:p=8,m1=256,c1=10", jobs,
+              misses);
   base_sweep(out, n);
   std::cout << "Expected shape: very small sigma serializes (capacity), "
                "sigma near 1 overcommits caches without miss benefit in "

@@ -1,0 +1,136 @@
+// E14 — measured per-level misses vs the paper's Theorem 1 bound: run the
+// occupancy-simulation layer (pmh/occupancy.hpp, always on here) over a
+// kernels × σ × machines × policies grid and put the *measured* Q_i next
+// to the *analytical* Q*(t; σ·Mi) from analysis/pcc, per cache level.
+//
+// This is the headline theory-vs-measurement experiment the simulator
+// exists for: for every space-bounded (`sb`) run the bench CHECKS
+// Q_i <= Q*(σMi) at every level and exits non-zero on any violation (the
+// CI gate on Theorem 1), while `ws` rows show the bound failing without
+// capacity reservations — stealing reloads scattered footprints past Q*.
+//
+// Flags:
+//   --workloads=<spec;...>  default: all eight transcribed kernels at
+//                           small n
+//   --machines=<spec;...>   default: flat8;deep2x4
+//   --sigma=<x,x,...>       default: 0.25,0.33...,0.5 (all swept values
+//                           are gated for sb)
+//   --sched=<name,...>      default: sb,ws,greedy,serial
+//   --jobs=<n>              sweep workers (0 = hardware concurrency)
+//   --json=<path>           mirror tables into BENCH_cache_miss.json
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "analysis/pcc.hpp"
+#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+#include "pmh/presets.hpp"
+
+using namespace ndf;
+
+namespace {
+
+/// Q*(t; σM) per workload label, memoized — the grid revisits each
+/// (workload, σ·M) pair once per machine sharing the profile and once per
+/// policy.
+class QStarCache {
+ public:
+  double get(const exp::WorkloadSpec& spec, double threshold) {
+    const auto key = std::make_pair(spec.label(), threshold);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const auto t = trees_.find(spec.label());
+    if (t == trees_.end())
+      trees_.emplace(spec.label(), exp::build_workload_tree(spec));
+    const double q =
+        parallel_cache_complexity(trees_.at(spec.label()), threshold);
+    memo_.emplace(key, q);
+    return q;
+  }
+
+ private:
+  std::map<std::string, SpawnTree> trees_;
+  std::map<std::pair<std::string, double>, double> memo_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  bench::reject_unknown_flags(
+      args, {"workloads", "machines", "sigma", "sched", "jobs", "json"},
+      "see the header of bench_cache_miss.cpp");
+  exp::Scenario s;
+  s.name = "cache_miss";
+  s.workloads = exp::parse_workload_list(args.get(
+      "workloads",
+      std::string("mm:n=32;trs:n=32;cholesky:n=32;lu:n=32;lcs:n=128;"
+                  "gotoh:n=64;fw1d:n=16;fw2d:n=16")));
+  s.machines = {"flat8", "deep2x4"};
+  if (args.has("machines"))
+    s.machines = bench::split_specs(args.get("machines", std::string()));
+  s.policies = parse_sched_list(
+      args.get("sched", std::string("sb,ws,greedy,serial")));
+  s.sigmas = {0.25, 1.0 / 3.0, 0.5};
+  if (args.has("sigma"))
+    s.sigmas =
+        bench::parse_double_list(args.get("sigma", std::string()), "sigma");
+  s.measure_misses = true;  // the whole point of this bench
+
+  bench::Output out("E14 cache-miss/theorem1", args);
+  bench::heading("E14 cache-miss/theorem1",
+                 "Theorem 1, measured: simulated LRU occupancy counts the "
+                 "level-i misses Q_i of each policy; space-bounded runs "
+                 "must stay within Q*(t; sigma*Mi), work stealing need "
+                 "not.");
+
+  exp::Sweep sweep(s, bench::jobs_flag(args));
+  const auto& runs = sweep.run();
+
+  QStarCache qstar;
+  std::size_t sb_cells = 0, sb_violations = 0, ws_exceeds = 0;
+  Table t("measured Q_i vs Q*(sigma*Mi), per cache level");
+  t.set_header({"workload", "machine", "policy", "sigma", "level", "Q_i",
+                "Q*", "Q_i/Q*", "within"});
+  for (const exp::RunPoint& r : runs) {
+    const Pmh m = make_pmh(r.machine);
+    for (std::size_t l = 1; l <= m.num_cache_levels(); ++l) {
+      const double q = r.stats.measured_misses[l - 1];
+      const double bound =
+          qstar.get(r.workload, r.sigma * m.cache_size(l));
+      const bool within = q <= bound;
+      if (r.policy == "sb") {
+        ++sb_cells;
+        if (!within) ++sb_violations;
+      }
+      if (r.policy == "ws" && !within) ++ws_exceeds;
+      t.add_row({r.workload.label(), r.machine, r.policy, r.sigma,
+                 (long long)l, q, bound, q / std::max(1.0, bound),
+                 std::string(within ? "yes" : "NO")});
+    }
+  }
+  out.emit(t);
+
+  const auto swept = [&](const char* p) {
+    return std::find(s.policies.begin(), s.policies.end(), p) !=
+           s.policies.end();
+  };
+  if (swept("sb")) {
+    std::cout << "sb: " << (sb_cells - sb_violations) << "/" << sb_cells
+              << " level-cells within Q* (Theorem 1)";
+    if (sb_violations) std::cout << " — " << sb_violations << " VIOLATIONS";
+    std::cout << "\n";
+  }
+  if (swept("ws"))
+    std::cout << "ws: exceeded Q* on " << ws_exceeds
+              << " level-cells (no capacity reservation, none expected to "
+                 "hold)\n";
+  if (sb_violations) {
+    std::cerr << "FAIL: space-bounded measured misses exceeded the "
+                 "Theorem 1 bound\n";
+    return 1;
+  }
+  return 0;
+}

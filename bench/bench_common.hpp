@@ -10,10 +10,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <iomanip>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,6 +48,56 @@ inline std::size_t jobs_flag(const Args& args) {
   NDF_CHECK_MSG(jobs >= 0, "--jobs must be >= 0 (0 = hardware concurrency), "
                                << "got " << jobs);
   return std::size_t(jobs);
+}
+
+/// `--misses` for drivers that execute sweeps: simulate LRU cache
+/// occupancy and grow the emitters' measured-Q columns. Off by default so
+/// legacy stdout/JSON/CSV stay byte-identical (see docs/metrics.md).
+inline bool misses_flag(const Args& args) {
+  return args.get("misses", false);
+}
+
+/// Rejects unknown `--flags` loudly: a typo'd axis must not silently run
+/// the default grid and emit a plausible-looking but wrong artifact.
+/// `allowed` is the driver's full flag set; `hint` says where the flags
+/// are documented.
+inline void reject_unknown_flags(const Args& args,
+                                 std::initializer_list<const char*> allowed,
+                                 const std::string& hint) {
+  for (const std::string& name : args.names()) {
+    bool known = false;
+    for (const char* a : allowed) known = known || name == a;
+    NDF_CHECK_MSG(known, "unknown flag --" << name << " (" << hint << ")");
+  }
+}
+
+/// Comma-separated doubles for an axis flag (`--sigma=0.2,0.33`).
+inline std::vector<double> parse_double_list(const std::string& csv,
+                                             const std::string& flag) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    NDF_CHECK_MSG(end && *end == '\0',
+                  "--" << flag << " entry is not a number: " << item);
+    out.push_back(v);
+  }
+  NDF_CHECK_MSG(!out.empty(), "--" << flag << " list is empty");
+  return out;
+}
+
+/// Semicolon-separated spec strings (`--machines='flat8;deep2x4'`);
+/// empty items are skipped, so trailing separators are harmless.
+inline std::vector<std::string> split_specs(const std::string& specs) {
+  std::vector<std::string> out;
+  std::stringstream ss(specs);
+  std::string item;
+  while (std::getline(ss, item, ';'))
+    if (!item.empty()) out.push_back(item);
+  return out;
 }
 
 inline void heading(const std::string& id, const std::string& claim) {

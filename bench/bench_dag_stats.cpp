@@ -38,11 +38,8 @@ void row(Table& t, const exp::WorkloadSpec& spec) {
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  for (const std::string& name : args.names())
-    NDF_CHECK_MSG(name == "workloads" || name == "json",
-                  "unknown flag --" << name
-                                    << " (see the header of "
-                                       "bench_dag_stats.cpp)");
+  bench::reject_unknown_flags(args, {"workloads", "json"},
+                              "see the header of bench_dag_stats.cpp");
 
   bench::Output out("dag_stats", args);
   bench::heading("E12 dag-stats",

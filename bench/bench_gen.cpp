@@ -106,11 +106,8 @@ bool fuzz(std::size_t n) {
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  for (const std::string& name : args.names())
-    NDF_CHECK_MSG(name == "workloads" || name == "fuzz" ||
-                      name == "dump-dot" || name == "json",
-                  "unknown flag --" << name
-                                    << " (see the header of bench_gen.cpp)");
+  bench::reject_unknown_flags(args, {"workloads", "fuzz", "dump-dot", "json"},
+                              "see the header of bench_gen.cpp");
 
   const long long fuzz_n = args.get("fuzz", 0LL);
   NDF_CHECK_MSG(fuzz_n >= 0, "--fuzz must be >= 0");

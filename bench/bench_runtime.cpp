@@ -38,6 +38,8 @@ double median_run(const StrandGraph& g, std::size_t threads, int reps = 3) {
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  bench::reject_unknown_flags(args, {"json"},
+                              "see the header of bench_runtime.cpp");
   bench::Output out("E10 runtime/real threads", args);
   const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
   bench::heading("E10 runtime/real threads",

@@ -43,6 +43,8 @@ void run(bench::Output& out, const std::string& policy,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  bench::reject_unknown_flags(args, {"sched", "json"},
+                              "see the header of bench_sb_bounds.cpp");
   const std::string policy = bench::single_policy(args, "sb");
   bench::Output out("E7 sb-bounds/Thm 1+3", args);
   bench::heading("E7 sb-bounds/Thm 1+3",

@@ -10,7 +10,9 @@
 //
 // Flags: --sched=sb,ws[,greedy,serial] (policies from the registry; the
 // first is the ratio baseline), --json=<path>, --jobs=<n> (sweep workers;
-// 0 = hardware concurrency, output identical at every value).
+// 0 = hardware concurrency, output identical at every value), --misses
+// (adds measured-occupancy rows "Q L<i> (measured)" and "comm cost";
+// without it the output is byte-identical to the pre-measurement bench).
 #include <algorithm>
 #include <cctype>
 
@@ -28,12 +30,13 @@ std::string upper(std::string s) {
 
 void compare(bench::Output& out, const std::vector<std::string>& policies,
              const std::string& name, const std::string& workload,
-             const std::string& machine, std::size_t jobs) {
+             const std::string& machine, std::size_t jobs, bool misses) {
   exp::Scenario sc;
   sc.name = "sb_vs_ws/" + name;
   sc.workloads = {exp::parse_workload(workload)};
   sc.machines = {machine};
   sc.policies = policies;
+  sc.measure_misses = misses;
   exp::Sweep sweep(std::move(sc), jobs);
   const std::vector<exp::RunPoint>& runs = sweep.run();
   // One workload × one machine × one σ: runs arrive in policy order.
@@ -69,6 +72,21 @@ void compare(bench::Output& out, const std::vector<std::string>& policies,
       [&](std::size_t i) {
         return runs[i].stats.makespan / runs[0].stats.makespan;
       });
+  if (misses) {
+    for (std::size_t l = 1; l <= levels; ++l)
+      add("Q L" + std::to_string(l) + " (measured)",
+          [&](std::size_t i) { return runs[i].stats.measured_misses[l - 1]; },
+          [&](std::size_t i) {
+            return runs[i].stats.measured_misses[l - 1] /
+                   std::max(1.0, runs[0].stats.measured_misses[l - 1]);
+          });
+    add(std::string("comm cost"),
+        [&](std::size_t i) { return runs[i].stats.comm_cost; },
+        [&](std::size_t i) {
+          return runs[i].stats.comm_cost /
+                 std::max(1.0, runs[0].stats.comm_cost);
+        });
+  }
   out.emit(t);
 }
 
@@ -76,18 +94,21 @@ void compare(bench::Output& out, const std::vector<std::string>& policies,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  bench::reject_unknown_flags(args, {"sched", "jobs", "misses", "json"},
+                              "see the header of bench_sb_vs_ws.cpp");
   const auto policies =
       parse_sched_list(args.get("sched", std::string("sb,ws")));
   NDF_CHECK_MSG(!policies.empty(), "--sched list must name a policy");
   const std::size_t jobs = bench::jobs_flag(args);
+  const bool misses = bench::misses_flag(args);
   bench::Output out("E9 sb-vs-ws/locality", args);
   bench::heading("E9 sb-vs-ws/locality",
                  "SB's anchoring bounds misses by Q*(sigma*M); random "
                  "stealing reloads scattered footprints ([47,48]).");
-  compare(out, policies, "MM", "mm:n=64", "flat16", jobs);
-  compare(out, policies, "TRS", "trs:n=64", "flat16", jobs);
-  compare(out, policies, "LCS", "lcs:n=256", "flat16", jobs);
-  compare(out, policies, "MM(2-tier)", "mm:n=64", "deep4x4", jobs);
+  compare(out, policies, "MM", "mm:n=64", "flat16", jobs, misses);
+  compare(out, policies, "TRS", "trs:n=64", "flat16", jobs, misses);
+  compare(out, policies, "LCS", "lcs:n=256", "flat16", jobs, misses);
+  compare(out, policies, "MM(2-tier)", "mm:n=64", "deep4x4", jobs, misses);
   std::cout << "Expected shape: WS/SB miss ratio > 1 (often substantially); "
                "makespan follows when miss costs dominate.\n";
   return 0;

@@ -39,6 +39,8 @@ void timeline(bench::Output& out, const std::string& policy,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  bench::reject_unknown_flags(args, {"n", "buckets", "sched", "json"},
+                              "see the header of bench_trace.cpp");
   const std::size_t n = std::size_t(args.get("n", 128LL));
   const std::size_t buckets = std::size_t(args.get("buckets", 16LL));
   const std::string policy = bench::single_policy(args, "sb");

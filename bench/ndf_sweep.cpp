@@ -22,6 +22,10 @@
 //   --jobs=<n>                   grid workers: 0 = hardware concurrency
 //                                (default), 1 = legacy serial path; output
 //                                is byte-identical at every n
+//   --misses                     simulate LRU cache occupancy per run and
+//                                grow comm_cost + Q_L<i> measured-miss
+//                                columns in every emitter (off: legacy
+//                                output, byte-identical)
 //   --json=<path> --csv=<path>   consolidated emitters
 //   --dump-dot=<path>            DOT of the first workload's strand DAG
 //                                (nd/dot), then run the sweep as usual
@@ -43,23 +47,6 @@
 using namespace ndf;
 
 namespace {
-
-std::vector<double> parse_double_list(const std::string& csv,
-                                      const std::string& flag) {
-  std::vector<double> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (item.empty()) continue;
-    char* end = nullptr;
-    const double v = std::strtod(item.c_str(), &end);
-    NDF_CHECK_MSG(end && *end == '\0',
-                  "--" << flag << " entry is not a number: " << item);
-    out.push_back(v);
-  }
-  NDF_CHECK_MSG(!out.empty(), "--" << flag << " list is empty");
-  return out;
-}
 
 void list_everything() {
   std::cout << "workloads (--workloads=<name>[:n=,base=,np][;...]):\n";
@@ -84,18 +71,11 @@ void list_everything() {
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  // Reject unknown flags loudly — a typo'd axis must not run the default
-  // grid and emit a plausible-looking but wrong trajectory artifact.
-  for (const std::string& name : args.names())
-    NDF_CHECK_MSG(name == "workloads" || name == "machines" ||
-                      name == "sched" || name == "sigma" || name == "alpha" ||
-                      name == "repeat" || name == "seed" || name == "jobs" ||
-                      name == "json" || name == "csv" || name == "name" ||
-                      name == "smoke" || name == "list" ||
-                      name == "dump-dot",
-                  "unknown flag --" << name
-                                    << " (see the header of ndf_sweep.cpp or "
-                                       "--list)");
+  bench::reject_unknown_flags(
+      args,
+      {"workloads", "machines", "sched", "sigma", "alpha", "repeat", "seed",
+       "jobs", "json", "csv", "name", "smoke", "list", "dump-dot", "misses"},
+      "see the header of ndf_sweep.cpp or --list");
   if (args.get("list", false)) {
     list_everything();
     return 0;
@@ -121,25 +101,22 @@ int main(int argc, char** argv) {
   if (args.has("workloads"))
     s.workloads =
         exp::parse_workload_list(args.get("workloads", std::string()));
-  if (args.has("machines")) {
-    s.machines.clear();
-    std::stringstream ss(args.get("machines", std::string()));
-    std::string item;
-    while (std::getline(ss, item, ';'))
-      if (!item.empty()) s.machines.push_back(item);
-  }
+  if (args.has("machines"))
+    s.machines = bench::split_specs(args.get("machines", std::string()));
   if (args.has("sched") || !smoke)
     s.policies =
         parse_sched_list(args.get("sched", std::string("sb,ws,greedy,serial")));
   if (args.has("sigma"))
-    s.sigmas = parse_double_list(args.get("sigma", std::string()), "sigma");
+    s.sigmas =
+        bench::parse_double_list(args.get("sigma", std::string()), "sigma");
   if (args.has("alpha"))
     s.alpha_primes =
-        parse_double_list(args.get("alpha", std::string()), "alpha");
+        bench::parse_double_list(args.get("alpha", std::string()), "alpha");
   const long long repeat = args.get("repeat", (long long)s.repeats);
   NDF_CHECK_MSG(repeat >= 1, "--repeat must be >= 1, got " << repeat);
   s.repeats = std::size_t(repeat);
   s.base_seed = std::uint64_t(args.get("seed", 42LL));
+  s.measure_misses = bench::misses_flag(args);
   const std::size_t jobs = bench::jobs_flag(args);
 
   NDF_CHECK_MSG(!s.workloads.empty(),

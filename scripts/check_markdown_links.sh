@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Markdown link check + light lint for the repo's documentation, with no
+# dependencies beyond bash/grep/sed — runnable locally and in the CI
+# `docs` job.
+#
+# Checks, for every tracked *.md at the repo root and under docs/:
+#   1. Every relative link target [text](path) exists on disk (http(s) and
+#      mailto links are skipped — CI must not depend on the network).
+#   2. Every intra-document anchor [text](#heading) matches a heading in
+#      the same file (GitHub anchor rules: lowercase, punctuation
+#      stripped, spaces to dashes).
+#   3. Lint: no trailing whitespace (a diff-noise magnet in docs).
+#
+# Usage: scripts/check_markdown_links.sh [repo-root]
+set -euo pipefail
+
+ROOT=${1:-$(git -C "$(dirname "$0")/.." rev-parse --show-toplevel 2>/dev/null || echo "$(dirname "$0")/..")}
+cd "$ROOT"
+
+FILES=$(ls ./*.md 2>/dev/null; [ -d docs ] && ls docs/*.md 2>/dev/null || true)
+[ -n "$FILES" ] || { echo "no markdown files found under $ROOT" >&2; exit 1; }
+
+# GitHub-style anchor from a heading line: strip leading #s, lowercase,
+# drop everything but alnum/space/dash, spaces to dashes.
+anchor_of() {
+  sed -E 's/^#+[[:space:]]*//' <<<"$1" \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+fail=0
+for f in $FILES; do
+  # All (text)(target) pairs; targets only. Inline code spans are rare in
+  # link position, so a plain grep over the rendered source is enough.
+  targets=$(grep -oE '\]\(([^)]+)\)' "$f" | sed -E 's/^\]\(//; s/\)$//' || true)
+  anchors=""
+  while IFS= read -r line; do
+    anchors+="$(anchor_of "$line")"$'\n'
+  done < <(grep -E '^#{1,6}[[:space:]]' "$f" || true)
+
+  while IFS= read -r t; do
+    [ -z "$t" ] && continue
+    case "$t" in
+      http://*|https://*|mailto:*) continue ;;  # external: not checked
+      '#'*)
+        want=${t#\#}
+        if ! grep -qxF "$want" <<<"$anchors"; then
+          echo "$f: broken anchor link ($t)" >&2
+          fail=1
+        fi
+        ;;
+      *)
+        path=${t%%#*}  # file.md#section -> file.md
+        # GitHub resolves relative to the containing file — only that.
+        rel=$(dirname "$f")/$path
+        if [ ! -e "$rel" ]; then
+          echo "$f: broken relative link ($t)" >&2
+          fail=1
+        fi
+        ;;
+    esac
+  done <<<"$targets"
+
+  if grep -nE '[[:space:]]+$' "$f" >/dev/null; then
+    echo "$f: trailing whitespace on lines:" >&2
+    grep -nE '[[:space:]]+$' "$f" | cut -d: -f1 | paste -sd, - >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "FAIL: markdown check found problems (see above)" >&2
+  exit 1
+fi
+echo "OK: markdown links, anchors and whitespace clean ($(echo "$FILES" | wc -w | tr -d ' ') files)"

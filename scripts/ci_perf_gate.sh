@@ -57,6 +57,26 @@ run_grid 1 smoke-serial --smoke
 run_grid "$JOBS" smoke-parallel --smoke
 check_identical smoke-serial smoke-parallel "smoke grid"
 
+# --- measured-miss counters: deterministic across --jobs too ------------
+run_grid 1 misses-serial --smoke --misses
+run_grid "$JOBS" misses-parallel --smoke --misses
+check_identical misses-serial misses-parallel "smoke grid with --misses"
+
+# --- Theorem 1 gate + cache-miss trajectory artifact --------------------
+# bench_cache_miss exits non-zero if any space-bounded run's measured Q_i
+# exceeds Q*(sigma*Mi); its JSON is uploaded next to the sweep timings.
+# On failure, print the violating rows — the artifact upload is skipped
+# for failed jobs, so the log must carry the diagnosis.
+if ! "$BUILD_DIR/bench_cache_miss" \
+    --json="$BUILD_DIR/BENCH_cache_miss.json" > "$OUT/cache-miss.txt"; then
+  echo "FAIL: Theorem 1 violated — rows outside Q*:" >&2
+  grep -E ' NO$|VIOLATIONS' "$OUT/cache-miss.txt" >&2 || \
+      cat "$OUT/cache-miss.txt" >&2
+  exit 1
+fi
+tail -2 "$OUT/cache-miss.txt"
+echo "OK: Theorem 1 held for all space-bounded runs (BENCH_cache_miss.json)"
+
 # --- determinism + timing on the perf grid ------------------------------
 T0=$(now); run_grid 1 gate-serial "${GATE_ARGS[@]}"; T1=$(now)
 T2=$(now); run_grid "$JOBS" gate-parallel "${GATE_ARGS[@]}"; T3=$(now)

@@ -17,6 +17,17 @@ std::size_t max_levels(const std::vector<RunPoint>& runs) {
   return L;
 }
 
+/// Deepest measured-miss vector in the result set: 0 when nothing in the
+/// sweep simulated occupancy, in which case no measured column is emitted
+/// anywhere and the output is byte-identical to the pre-measurement
+/// emitters (the `--misses`-off compatibility guarantee).
+std::size_t max_measured_levels(const std::vector<RunPoint>& runs) {
+  std::size_t L = 0;
+  for (const RunPoint& r : runs)
+    L = std::max(L, r.stats.measured_misses.size());
+  return L;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -62,6 +73,7 @@ std::string csv_field(const std::string& s) {
 Table results_table(const std::string& title,
                     const std::vector<RunPoint>& runs) {
   const std::size_t L = max_levels(runs);
+  const std::size_t Q = max_measured_levels(runs);
   Table t(title);
   std::vector<std::string> header{"workload", "machine", "policy", "sigma",
                                   "alpha'",   "rep",     "makespan",
@@ -70,17 +82,26 @@ Table results_table(const std::string& title,
     header.push_back("misses_L" + std::to_string(l));
   header.push_back("anchors");
   header.push_back("steals");
+  // Measured-occupancy columns, only when the sweep measured anything
+  // (docs/metrics.md maps them to the paper's Q_i and communication cost).
+  if (Q > 0) {
+    header.push_back("comm_cost");
+    for (std::size_t l = 1; l <= Q; ++l)
+      header.push_back("Q_L" + std::to_string(l));
+  }
   t.set_header(std::move(header));
   for (const RunPoint& r : runs) {
-    std::vector<Cell> row{r.workload.label(),
-                          r.machine,
-                          r.policy,
-                          r.sigma,
-                          r.alpha_prime,
-                          (long long)r.repeat,
-                          r.stats.makespan,
-                          r.stats.miss_cost,
-                          r.stats.utilization};
+    std::vector<Cell> row;
+    row.reserve(11 + L + (Q > 0 ? Q + 1 : 0));
+    row.push_back(r.workload.label());
+    row.push_back(r.machine);
+    row.push_back(r.policy);
+    row.push_back(r.sigma);
+    row.push_back(r.alpha_prime);
+    row.push_back((long long)r.repeat);
+    row.push_back(r.stats.makespan);
+    row.push_back(r.stats.miss_cost);
+    row.push_back(r.stats.utilization);
     for (std::size_t l = 0; l < L; ++l)
       if (l < r.stats.misses.size())
         row.push_back(r.stats.misses[l]);
@@ -88,6 +109,17 @@ Table results_table(const std::string& title,
         row.push_back(std::string("-"));
     row.push_back((long long)r.stats.anchors);
     row.push_back((long long)r.stats.steals);
+    if (Q > 0) {
+      if (r.stats.measured_misses.empty())
+        row.push_back(std::string("-"));
+      else
+        row.push_back(r.stats.comm_cost);
+      for (std::size_t l = 0; l < Q; ++l)
+        if (l < r.stats.measured_misses.size())
+          row.push_back(r.stats.measured_misses[l]);
+        else
+          row.push_back(std::string("-"));
+    }
     t.add_row(std::move(row));
   }
   return t;
@@ -126,7 +158,20 @@ void write_sweep_json(std::ostream& os, const std::string& name,
       if (l) os << ", ";
       write_number(os, r.stats.misses[l]);
     }
-    os << "]}}";
+    os << "]";
+    // Measured occupancy, only for runs that simulated it — a sweep
+    // without --misses emits exactly the legacy document.
+    if (!r.stats.measured_misses.empty()) {
+      os << ", \"comm_cost\": ";
+      write_number(os, r.stats.comm_cost);
+      os << ", \"measured_misses\": [";
+      for (std::size_t l = 0; l < r.stats.measured_misses.size(); ++l) {
+        if (l) os << ", ";
+        write_number(os, r.stats.measured_misses[l]);
+      }
+      os << "]";
+    }
+    os << "}}";
   }
   os << "\n  ]\n}\n";
 }
@@ -134,10 +179,15 @@ void write_sweep_json(std::ostream& os, const std::string& name,
 void write_sweep_csv(std::ostream& os, const std::vector<RunPoint>& runs) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   const std::size_t L = max_levels(runs);
+  const std::size_t Q = max_measured_levels(runs);
   os << "workload,algo,n,base,np,machine,policy,sigma,alpha_prime,repeat,"
         "seed,makespan,total_work,miss_cost,utilization,atomic_units,"
         "anchors,steals";
   for (std::size_t l = 1; l <= L; ++l) os << ",misses_l" << l;
+  if (Q > 0) {
+    os << ",comm_cost";
+    for (std::size_t l = 1; l <= Q; ++l) os << ",q_l" << l;
+  }
   os << "\n";
   for (const RunPoint& r : runs) {
     os << csv_field(r.workload.label()) << ',' << r.workload.algo << ','
@@ -152,6 +202,15 @@ void write_sweep_csv(std::ostream& os, const std::vector<RunPoint>& runs) {
     for (std::size_t l = 0; l < L; ++l) {
       os << ',';
       if (l < r.stats.misses.size()) os << r.stats.misses[l];
+    }
+    if (Q > 0) {
+      os << ',';
+      if (!r.stats.measured_misses.empty()) os << r.stats.comm_cost;
+      for (std::size_t l = 0; l < Q; ++l) {
+        os << ',';
+        if (l < r.stats.measured_misses.size())
+          os << r.stats.measured_misses[l];
+      }
     }
     os << "\n";
   }

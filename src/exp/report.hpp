@@ -13,16 +13,22 @@
 namespace ndf::exp {
 
 /// Flat results table: one row per run point, miss columns padded to the
-/// deepest machine in the result set.
+/// deepest machine in the result set. Sweeps that simulated occupancy
+/// (Scenario::measure_misses) additionally get `comm_cost` and `Q_L<i>`
+/// measured-miss columns; without measurement the table is unchanged.
 Table results_table(const std::string& title,
                     const std::vector<RunPoint>& runs);
 
 /// {"sweep": <name>, "runs": [{workload, machine, policy, sigma, ...,
-/// stats: {...}}, ...]} with round-trippable doubles.
+/// stats: {...}}, ...]} with round-trippable doubles. Measured runs carry
+/// "comm_cost" and "measured_misses" in their stats object; unmeasured
+/// runs emit the legacy document byte for byte (docs/metrics.md maps
+/// every key to its paper quantity).
 void write_sweep_json(std::ostream& os, const std::string& name,
                       const std::vector<RunPoint>& runs);
 
-/// One header row + one row per run point; misses padded like the table.
+/// One header row + one row per run point; misses padded like the table,
+/// with `comm_cost`/`q_l<i>` columns appended exactly when measured.
 void write_sweep_csv(std::ostream& os, const std::vector<RunPoint>& runs);
 
 }  // namespace ndf::exp

@@ -100,6 +100,7 @@ SchedOptions point_options(const Scenario& s, const GridPoint& g) {
   o.sigma = s.sigmas[g.sigma];
   o.alpha_prime = s.alpha_primes[g.alpha];
   o.charge_misses = s.charge_misses;
+  o.measure_misses = s.measure_misses;
   o.steal_cost = s.steal_cost;
   o.seed = s.base_seed + g.repeat;
   return o;

@@ -32,6 +32,10 @@ struct Scenario {
   std::size_t repeats = 1;        ///< seed axis: seeds base_seed..+repeats-1
   std::uint64_t base_seed = 42;   ///< seed of repeat 0
   bool charge_misses = true;
+  /// Simulate LRU cache occupancy in every run and report measured Q_i /
+  /// comm_cost (extra columns in every emitter). Off by default: legacy
+  /// sweep output stays byte-identical unless asked for (`--misses`).
+  bool measure_misses = false;
   double steal_cost = 0.0;
 };
 

@@ -173,11 +173,15 @@ SpawnTree build_workload_tree(const WorkloadSpec& spec) {
     return gen::generate(*spec.gen);
   }
   const auto it = builders().find(spec.algo);
+  // Name the full spec, not just the algo key: specs injected past the
+  // parser (tests, programmatic sweeps) must still be identifiable in the
+  // rejection they trigger.
   NDF_CHECK_MSG(it != builders().end(),
-                "unknown workload '" << spec.algo
+                "unknown workload '" << spec.algo << "' in '" << spec.label()
                                      << "' (registered: " << known_workloads()
                                      << ")");
-  NDF_CHECK_MSG(spec.n > 0, "workload '" << spec.algo << "' needs n > 0");
+  NDF_CHECK_MSG(spec.n > 0,
+                "workload spec '" << spec.label() << "' needs n > 0");
   return it->second.make(spec.n, spec.base);
 }
 

@@ -109,7 +109,9 @@ bool accepts(const Family& f, const std::string& key) {
 
 std::string GenSpec::label() const {
   const GenSpec d;
-  const Family& f = family_of(*this, "gen spec");
+  // The closest thing to a verbatim spec a programmatic GenSpec has: its
+  // own canonical prefix (labels of unknown families cannot be rendered).
+  const Family& f = family_of(*this, "gen:family=" + family);
   std::ostringstream os;
   os << "gen:family=" << family;
   // Fixed key order; only keys the family accepts, only non-default

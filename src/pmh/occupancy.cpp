@@ -1,0 +1,97 @@
+#include "pmh/occupancy.hpp"
+
+#include <algorithm>
+
+namespace ndf {
+
+CacheOccupancy::CacheOccupancy(const Pmh& machine) {
+  const std::size_t L = machine.num_cache_levels();
+  caches_.resize(L);
+  misses_.assign(L, 0.0);
+  capacity_.resize(L);
+  for (std::size_t l = 1; l <= L; ++l) {
+    caches_[l - 1].resize(machine.num_caches(l));
+    capacity_[l - 1] = machine.cache_size(l);
+  }
+}
+
+CacheOccupancy::Cache& CacheOccupancy::at(std::size_t level,
+                                          std::size_t cache) {
+  NDF_DCHECK(level >= 1 && level <= caches_.size());
+  NDF_DCHECK(cache < caches_[level - 1].size());
+  return caches_[level - 1][cache];
+}
+
+CacheOccupancy::Entry* CacheOccupancy::find(Cache& c, int task) {
+  for (Entry& e : c.entries)
+    if (e.task == task) return &e;
+  return nullptr;
+}
+
+void CacheOccupancy::make_room(Cache& c, double capacity, double incoming) {
+  while (c.used + incoming > capacity) {
+    // Oldest unpinned entry; stable scan order keeps ties deterministic
+    // (last_use values are unique anyway — the clock bumps per touch).
+    std::size_t victim = c.entries.size();
+    for (std::size_t i = 0; i < c.entries.size(); ++i)
+      if (!c.entries[i].pinned &&
+          (victim == c.entries.size() ||
+           c.entries[i].last_use < c.entries[victim].last_use))
+        victim = i;
+    if (victim == c.entries.size()) return;  // only pinned entries left
+    c.used -= c.entries[victim].size;
+    c.entries.erase(c.entries.begin() + victim);
+  }
+}
+
+double CacheOccupancy::touch(std::size_t level, std::size_t cache, int task,
+                             double size) {
+  Cache& c = at(level, cache);
+  Entry* e = find(c, task);
+  if (e && e->resident) {
+    e->last_use = ++clock_;
+    return 0.0;  // hit
+  }
+  if (e) {
+    // Pinned reservation, first actual use: the load happens now.
+    e->resident = true;
+    e->last_use = ++clock_;
+  } else {
+    make_room(c, capacity_[level - 1], size);
+    c.entries.push_back(Entry{task, size, true, false, ++clock_});
+    c.used += size;
+  }
+  misses_[level - 1] += size;
+  return size;
+}
+
+void CacheOccupancy::pin(std::size_t level, std::size_t cache, int task,
+                         double size) {
+  Cache& c = at(level, cache);
+  if (Entry* e = find(c, task)) {
+    e->pinned = true;
+    return;
+  }
+  // Reserve capacity now (the boundedness invariant the caller maintains
+  // guarantees pinned reservations fit); count the load on first touch.
+  make_room(c, capacity_[level - 1], size);
+  c.entries.push_back(Entry{task, size, false, true, ++clock_});
+  c.used += size;
+}
+
+void CacheOccupancy::unpin(std::size_t level, std::size_t cache, int task) {
+  Cache& c = at(level, cache);
+  for (std::size_t i = 0; i < c.entries.size(); ++i) {
+    Entry& e = c.entries[i];
+    if (e.task != task) continue;
+    e.pinned = false;
+    if (!e.resident) {
+      // Reserved but never loaded: free the capacity, leave no stale entry.
+      c.used -= e.size;
+      c.entries.erase(c.entries.begin() + i);
+    }
+    return;
+  }
+}
+
+}  // namespace ndf

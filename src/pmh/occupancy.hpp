@@ -1,0 +1,88 @@
+// Simulated cache-occupancy state for a PMH: the *measured* side of the
+// paper's Theorem 1. Every level-l cache tracks which maximal-task
+// footprints are resident, with LRU replacement over the cache's full
+// capacity Ml, and counts the words actually (re)loaded — the per-level
+// miss totals Q_i that the analytical bound Q*(t; σMi) (analysis/pcc)
+// promises to dominate for space-bounded executions.
+//
+// The unit of residency is a level-l maximal task's footprint (s(t) words),
+// the same granularity both existing cache *charge* models use (DESIGN.md,
+// "Cache-miss accounting"): the simulator has no per-word addresses for the
+// transcribed kernels, only the spawn tree's size annotations, so the
+// working set resident in a cache is modeled as a set of task footprints.
+//
+// Pinning exists for the space-bounded policy: anchoring a task reserves
+// its footprint's capacity for the task's lifetime (the boundedness
+// invariant keeps the pinned total ≤ σMl ≤ Ml), so a pinned footprint is
+// never evicted and is loaded at most once — which is exactly why the
+// measured Q_i of an sb run sits below Q*(σMi). Policies without
+// reservations (ws, greedy, serial) leave everything unpinned and pay
+// reloads whenever LRU pressure evicts a footprint they come back to.
+//
+// Determinism: recency is a monotone counter bumped per touch, eviction
+// scans are in stable entry order, and the layer is driven only from the
+// (deterministic) simulation event loop — so measured counters are
+// bit-identical across runs, processes and sweep `--jobs` values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmh/machine.hpp"
+
+namespace ndf {
+
+class CacheOccupancy {
+ public:
+  explicit CacheOccupancy(const Pmh& machine);
+
+  /// Runs footprint `task` (a level-`level` decomposition index) of `size`
+  /// words through the level-`level` cache `cache`: a hit refreshes
+  /// recency and returns 0; a miss loads the footprint (evicting unpinned
+  /// LRU entries down to capacity), adds `size` to the level's miss total,
+  /// and returns `size`.
+  double touch(std::size_t level, std::size_t cache, int task, double size);
+
+  /// Reserves capacity for `task` in `cache` and protects it from
+  /// eviction. Reservation does not count misses — the load is counted by
+  /// the first touch(), so a pinned-but-never-run footprint costs nothing.
+  void pin(std::size_t level, std::size_t cache, int task, double size);
+
+  /// Drops the reservation. A resident footprint stays as a normal LRU
+  /// entry (stale data lingers until evicted); a never-loaded one frees
+  /// its reserved capacity immediately.
+  void unpin(std::size_t level, std::size_t cache, int task);
+
+  /// Measured level-`level` misses so far, summed over the level's caches
+  /// (the Q_i that Theorem 1 bounds by Q*(t; σMl)).
+  double misses(std::size_t level) const { return misses_[level - 1]; }
+
+  /// misses(l) for l = 1..num_cache_levels, in level order.
+  const std::vector<double>& level_misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    int task = -1;
+    double size = 0.0;
+    bool resident = false;  ///< footprint loaded (occupies *and* counted)
+    bool pinned = false;    ///< reserved by an anchored task: not evictable
+    std::uint64_t last_use = 0;
+  };
+  struct Cache {
+    std::vector<Entry> entries;
+    double used = 0.0;  ///< Σ size over entries (resident or reserved)
+  };
+
+  Cache& at(std::size_t level, std::size_t cache);
+  Entry* find(Cache& c, int task);
+  /// Evicts unpinned entries, least recent first, until `c.used + incoming`
+  /// fits in `capacity` (or only pinned entries remain).
+  void make_room(Cache& c, double capacity, double incoming);
+
+  std::vector<std::vector<Cache>> caches_;  ///< caches_[l-1][cache index]
+  std::vector<double> misses_;              ///< misses_[l-1]
+  std::vector<double> capacity_;            ///< Ml per level
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace ndf

@@ -44,9 +44,11 @@ std::string preset_names() {
 }
 
 /// Parses "k1=v1,k2=v2" with every key validated against `allowed` (a
-/// defaults map that doubles as the schema).
+/// defaults map that doubles as the schema). Every rejection names the
+/// full offending spec string verbatim, not just the key — a sweep over
+/// dozens of machine specs must say *which* spec was typo'd.
 std::map<std::string, double> parse_params(
-    const std::string& family, const std::string& body,
+    const std::string& spec, const std::string& body,
     const std::map<std::string, double>& allowed) {
   std::map<std::string, double> out = allowed;
   std::string valid;
@@ -61,19 +63,18 @@ std::map<std::string, double> parse_params(
     if (item.empty()) continue;
     const auto eq = item.find('=');
     NDF_CHECK_MSG(eq != std::string::npos && eq > 0,
-                  "bad machine parameter '" << item << "' in '" << family
-                                            << ":" << body
+                  "bad machine parameter '" << item << "' in '" << spec
                                             << "' (want key=value)");
     const std::string key = item.substr(0, eq);
     NDF_CHECK_MSG(allowed.count(key), "unknown machine parameter '"
-                                          << key << "' for '" << family
+                                          << key << "' in '" << spec
                                           << "' (valid: " << valid << ")");
     char* end = nullptr;
     const std::string val = item.substr(eq + 1);
     out[key] = std::strtod(val.c_str(), &end);
     NDF_CHECK_MSG(end && *end == '\0' && !val.empty(),
-                  "machine parameter '" << key << "' is not a number: "
-                                        << val);
+                  "machine parameter '" << key << "' in '" << spec
+                                        << "' is not a number: " << val);
   }
   return out;
 }
@@ -81,12 +82,12 @@ std::map<std::string, double> parse_params(
 /// Count-valued parameters (processors, sockets, cores) must be positive
 /// integers: a negative double→size_t cast is UB and a fractional count
 /// would truncate silently.
-std::size_t as_count(const std::string& family, const std::string& key,
+std::size_t as_count(const std::string& spec, const std::string& key,
                      double v) {
   // 2^30 caps the tree: beyond it the double→size_t cast risks UB and the
   // simulator could never allocate per-processor state anyway.
   NDF_CHECK_MSG(v >= 1.0 && v == std::floor(v) && v <= double(1 << 30),
-                "machine parameter '" << key << "' for '" << family
+                "machine parameter '" << key << "' in '" << spec
                                       << "' must be a positive integer <= 2^30"
                                          ", got "
                                       << v);
@@ -96,15 +97,15 @@ std::size_t as_count(const std::string& family, const std::string& key,
 /// Cache sizes must be positive (σM = 0 degenerates the decomposition) and
 /// miss costs non-negative; reject here so a bad sweep spec fails at parse
 /// time with the parameter name, not mid-grid with an invariant message.
-double as_size(const std::string& family, const std::string& key, double v) {
-  NDF_CHECK_MSG(v > 0.0, "machine parameter '" << key << "' for '" << family
+double as_size(const std::string& spec, const std::string& key, double v) {
+  NDF_CHECK_MSG(v > 0.0, "machine parameter '" << key << "' in '" << spec
                                                << "' must be > 0, got " << v);
   return v;
 }
 
-double as_cost(const std::string& family, const std::string& key, double v) {
+double as_cost(const std::string& spec, const std::string& key, double v) {
   NDF_CHECK_MSG(v >= 0.0, "machine parameter '"
-                              << key << "' for '" << family
+                              << key << "' in '" << spec
                               << "' must be >= 0, got " << v);
   return v;
 }
@@ -131,26 +132,26 @@ PmhConfig parse_pmh(const std::string& spec) {
   const std::string family = spec.substr(0, colon);
   const std::string body = spec.substr(colon + 1);
   if (family == "flat") {
-    const auto kv = parse_params(family, body,
+    const auto kv = parse_params(spec, body,
                                  {{"p", 8}, {"m1", 768}, {"c1", 10}});
-    return PmhConfig::flat(as_count(family, "p", kv.at("p")),
-                           as_size(family, "m1", kv.at("m1")),
-                           as_cost(family, "c1", kv.at("c1")));
+    return PmhConfig::flat(as_count(spec, "p", kv.at("p")),
+                           as_size(spec, "m1", kv.at("m1")),
+                           as_cost(spec, "c1", kv.at("c1")));
   }
   if (family == "twotier") {
-    const auto kv = parse_params(family, body,
+    const auto kv = parse_params(spec, body,
                                  {{"s", 2},
                                   {"c", 4},
                                   {"m1", 192},
                                   {"m2", 3072},
                                   {"c1", 3},
                                   {"c2", 30}});
-    return PmhConfig::two_tier(as_count(family, "s", kv.at("s")),
-                               as_count(family, "c", kv.at("c")),
-                               as_size(family, "m1", kv.at("m1")),
-                               as_size(family, "m2", kv.at("m2")),
-                               as_cost(family, "c1", kv.at("c1")),
-                               as_cost(family, "c2", kv.at("c2")));
+    return PmhConfig::two_tier(as_count(spec, "s", kv.at("s")),
+                               as_count(spec, "c", kv.at("c")),
+                               as_size(spec, "m1", kv.at("m1")),
+                               as_size(spec, "m2", kv.at("m2")),
+                               as_cost(spec, "c1", kv.at("c1")),
+                               as_cost(spec, "c2", kv.at("c2")));
   }
   NDF_CHECK_MSG(false, "unknown machine family '"
                            << family << "' in '" << spec

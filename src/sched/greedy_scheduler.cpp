@@ -9,6 +9,11 @@
 // Greedy therefore makes Eq. (22) executable: its makespan is bounded below
 // by (total_work + miss_cost)/p and shows how close a schedule with ideal
 // locality but no locality *constraints* gets to perfect balance.
+//
+// Under SchedOptions::measure_misses the core also reports what that
+// "ideal locality" charge hides: the simulated LRU occupancy layer
+// (pmh/occupancy.hpp) measures the reloads a global FIFO actually incurs
+// when consecutive units land on unrelated caches.
 #include <deque>
 #include <memory>
 

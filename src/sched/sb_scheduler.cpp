@@ -129,6 +129,7 @@ class SbScheduler final : public Scheduler {
       Task& t = task_[l - 1][ti];
       if (t.root != n || !t.anchored || t.oversized) continue;
       used_[l - 1][t.anchor_cache] -= t.size;
+      core_->unpin_footprint(l, std::size_t(t.anchor_cache), ti);
       if (l > 1)
         for (std::size_t c : t.lease) leased_to_[l - 2][c] = -1;
       retry_pending(l);
@@ -212,6 +213,10 @@ class SbScheduler final : public Scheduler {
       t.anchored = true;
       t.anchor_cache = chosen;
       used_[l - 1][chosen] += t.size;
+      // Measured occupancy mirrors the capacity reservation: an anchored
+      // footprint cannot be evicted until release, so it loads at most
+      // once — the mechanism behind measured Q_i <= Q*(sigma*Mi).
+      core_->pin_footprint(l, std::size_t(chosen), ti);
       if (l > 1) {
         const std::size_t want = allocation(l, t.size);
         const std::size_t f = m.fanout(l);

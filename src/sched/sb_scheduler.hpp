@@ -16,7 +16,12 @@
 //    footprint once — s misses at level i (this is exactly the Theorem 1 /
 //    Q*(t;σMi) accounting); the latency s·Ci is spread uniformly over the
 //    task's serial execution units so that it parallelizes the way the
-//    Eq. (22) bound assumes.
+//    Eq. (22) bound assumes. That is the *charged* model; under
+//    SchedOptions::measure_misses the core also *measures* misses with a
+//    per-cache LRU occupancy simulation, in which sb pins each anchored
+//    footprint for the task's lifetime (the boundedness reservation), so
+//    measured Q_i <= charged misses <= Q*(t;σMi) — the testable form of
+//    Theorem 1 (see DESIGN.md, "Cache-miss accounting").
 //
 // Simplifications are documented in DESIGN.md.
 #pragma once

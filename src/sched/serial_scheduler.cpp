@@ -8,7 +8,10 @@
 //
 // Cache model: the same distributed optimal-replacement charge as "sb" and
 // "greedy" (DESIGN.md), so serial/p is the Eq. (22) balance reference for
-// any of them.
+// any of them. With SchedOptions::measure_misses the LRU occupancy layer
+// reports the depth-first execution's actual reloads through processor
+// 0's cache path — the sequential cache complexity the paper's Q(t; M)
+// generalizes.
 #include <memory>
 #include <queue>
 

@@ -32,6 +32,27 @@ void SimCore::init_run_state() {
   stats_.total_work = dag_.total_work();
   stats_.atomic_units = num_units();
   stats_.misses.assign(num_levels(), 0.0);
+  if (opts_.measure_misses) occ_ = std::make_unique<CacheOccupancy>(m_);
+}
+
+void SimCore::pin_footprint(std::size_t level, std::size_t cache, int task) {
+  if (!occ_) return;
+  const NodeId root = dag_.decomposition(level).maximal[task];
+  occ_->pin(level, cache, task, tree().size_of(root));
+}
+
+void SimCore::unpin_footprint(std::size_t level, std::size_t cache,
+                              int task) {
+  if (occ_) occ_->unpin(level, cache, task);
+}
+
+void SimCore::touch_unit(std::size_t proc, int u) {
+  const NodeId root = dag_.unit_root(u);
+  for (std::size_t l = 1; l <= num_levels(); ++l) {
+    const Decomposition& d = dag_.decomposition(l);
+    const int t = d.owner[root];
+    occ_->touch(l, m_.cache_above(proc, l), t, tree().size_of(d.maximal[t]));
+  }
 }
 
 std::vector<double> SimCore::distributed_unit_durations() const {
@@ -119,6 +140,10 @@ void SimCore::dispatch(double now) {
       continue;
     }
     busy_time_ += a.duration;
+    // Measured occupancy: the unit's footprint runs through every cache
+    // above its processor at unit start. Observational only — duration was
+    // already fixed by the policy's charge model above.
+    if (occ_) touch_unit(p, a.unit);
     if (opts_.trace)
       opts_.trace->push_back(TraceEvent{now, now + a.duration,
                                         static_cast<std::uint32_t>(p),
@@ -167,6 +192,11 @@ SchedStats SimCore::run(Scheduler& policy) {
   stats_.makespan = now;
   for (std::size_t l = 1; l <= num_levels(); ++l)
     stats_.miss_cost += stats_.misses[l - 1] * m_.miss_cost(l);
+  if (occ_) {
+    stats_.measured_misses = occ_->level_misses();
+    for (std::size_t l = 1; l <= num_levels(); ++l)
+      stats_.comm_cost += stats_.measured_misses[l - 1] * m_.miss_cost(l);
+  }
   stats_.utilization =
       now > 0 ? busy_time_ / (double(m_.num_processors()) * now) : 1.0;
   return stats_;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "pmh/machine.hpp"
+#include "pmh/occupancy.hpp"
 #include "sched/condensed_dag.hpp"
 #include "sched/trace.hpp"
 
@@ -40,6 +41,12 @@ namespace ndf {
 struct SchedOptions {
   double sigma = 1.0 / 3.0;   ///< dilation parameter: units are σM1-maximal
   bool charge_misses = true;  ///< include miss latency in unit durations
+  /// Simulate per-cache LRU occupancy (pmh/occupancy.hpp) and report the
+  /// *measured* per-level misses Q_i and communication cost alongside the
+  /// policy's charged model. Purely observational: it never changes unit
+  /// durations, so makespan and the legacy stats are bit-identical with
+  /// the flag on or off.
+  bool measure_misses = false;
   Trace* trace = nullptr;     ///< optional per-unit execution trace sink
 
   // Space-bounded family.
@@ -64,6 +71,14 @@ struct SchedStats {
   std::size_t steals = 0;   ///< work-stealing: successful steals
   /// Average processor utilization: total busy time / (p · makespan).
   double utilization = 0.0;
+  /// Measured per-level misses Q_i from the simulated LRU occupancy layer
+  /// (empty unless SchedOptions::measure_misses): measured_misses[i] is the
+  /// total words loaded into level-(i+1) caches, the quantity Theorem 1
+  /// bounds by Q*(t; σM_{i+1}).
+  std::vector<double> measured_misses;
+  /// Measured communication cost Σ_level measured_misses·C (0 unless
+  /// measuring) — the figure-of-merit companion to makespan.
+  double comm_cost = 0.0;
 };
 
 class SimCore;
@@ -172,6 +187,17 @@ class SimCore {
   /// Mutable during a run: policies account misses/anchors/steals here.
   SchedStats& stats() { return stats_; }
 
+  // --- simulated occupancy (opts.measure_misses) --------------------------
+  /// True when this run simulates LRU cache occupancy and will report
+  /// measured Q_i / comm_cost in its stats.
+  bool measuring() const { return occ_ != nullptr; }
+  /// Space-bounded reservation hooks: pin the footprint of level-`level`
+  /// maximal task `task` in cache `cache` (anchoring) so occupancy
+  /// eviction honors the boundedness invariant, and release it when the
+  /// task completes. No-ops when not measuring.
+  void pin_footprint(std::size_t level, std::size_t cache, int task);
+  void unpin_footprint(std::size_t level, std::size_t cache, int task);
+
  private:
   struct Ev {
     double time;
@@ -192,6 +218,9 @@ class SimCore {
   void count_edge(VertexId v, VertexId w, int delta);
   void fire_vertex(VertexId v);
   void cascade_all();
+  /// Runs unit `u`'s footprint through every cache above `proc` (level 1
+  /// up) in the occupancy layer; called once per assignment, at unit start.
+  void touch_unit(std::size_t proc, int u);
   /// Fires all vertices of completed unit `u`, children before parents so
   /// the unit root's exit fires last.
   void complete_unit(int u);
@@ -212,6 +241,8 @@ class SimCore {
 
   std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events_;
   std::vector<std::size_t> idle_;
+
+  std::unique_ptr<CacheOccupancy> occ_;  // only when opts.measure_misses
 
   SchedStats stats_;
   double busy_time_ = 0.0;

@@ -12,6 +12,14 @@ namespace {
 
 /// The "ws" policy: per-processor LIFO deques, random victim selection,
 /// and the task-footprint reload model.
+///
+/// The reload model below is the *charged* one (it sets unit durations and
+/// the legacy misses/miss_cost stats). Under SchedOptions::measure_misses
+/// the core additionally runs every assignment through the shared LRU
+/// occupancy layer (pmh/occupancy.hpp), which unlike the per-processor
+/// `resident_` approximation models capacity and sharing in multi-core
+/// caches — that measured Q_i is what exceeds the paper's Q*(sigma*Mi)
+/// bound when stealing scatters footprints.
 class WsScheduler final : public Scheduler {
  public:
   explicit WsScheduler(const SchedOptions& opts)
