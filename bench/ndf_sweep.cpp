@@ -31,8 +31,18 @@
 //                                (nd/dot), then run the sweep as usual
 //   --name=<id>                  sweep id in the outputs
 //   --smoke                      small fixed grid for CI (fast)
+//   --stress                     large fixed grid (~1000 cells of deep/wide
+//                                generated workloads) for perf measurement;
+//                                axes overridable as usual (CI trims with
+//                                --repeat=2)
+//   --phase-times                print per-phase wall-clock (workload build
+//                                / condensation / cell execution / emit) to
+//                                stderr, so a perf regression is
+//                                attributable without a profiler
 //   --list                       print workloads/machines/policies/gen
 //                                families and exit
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -74,7 +84,8 @@ int main(int argc, char** argv) {
   bench::reject_unknown_flags(
       args,
       {"workloads", "machines", "sched", "sigma", "alpha", "repeat", "seed",
-       "jobs", "json", "csv", "name", "smoke", "list", "dump-dot", "misses"},
+       "jobs", "json", "csv", "name", "smoke", "stress", "list", "dump-dot",
+       "misses", "phase-times"},
       "see the header of ndf_sweep.cpp or --list");
   if (args.get("list", false)) {
     list_everything();
@@ -83,6 +94,8 @@ int main(int argc, char** argv) {
 
   exp::Scenario s;
   const bool smoke = args.get("smoke", false);
+  const bool stress = args.get("stress", false);
+  NDF_CHECK_MSG(!(smoke && stress), "--smoke and --stress are exclusive");
   if (smoke) {
     // Small fixed grid CI can afford on every push: three transcribed
     // workloads (two ND, one NP variant) plus two generated ones (a random
@@ -97,13 +110,32 @@ int main(int argc, char** argv) {
     s.sigmas = {1.0 / 3.0, 0.5};
     s.repeats = 2;
   }
+  if (stress) {
+    // Deliberately big: deep/wide generated DAGs the smoke grid never
+    // touches, across three machine shapes — 6 workloads × 2 σ × 3
+    // machines × 4 policies × 7 repeats = 1008 cells, a few seconds of
+    // serial wall-clock. This is the grid the perf gate and scaling
+    // measurements use when thread startup must be noise, not signal.
+    s.name = "stress";
+    s.workloads = exp::parse_workload_list(
+        "gen:family=sp,depth=9,fan=4,work=32,cross=60,seed=11;"
+        "gen:family=sp,depth=11,fan=3,work=32,cross=60,seed=13;"
+        "gen:family=wavefront,n=96;"
+        "gen:family=forkjoin,depth=64,fan=48;"
+        "gen:family=diamond,depth=128,fan=24;"
+        "gen:family=chain,n=4096");
+    s.machines = {"flat16", "deep4x4", "deep2x4"};
+    s.policies = {"sb", "ws", "greedy", "serial"};
+    s.sigmas = {1.0 / 3.0, 0.5};
+    s.repeats = 7;
+  }
   s.name = args.get("name", s.name);
   if (args.has("workloads"))
     s.workloads =
         exp::parse_workload_list(args.get("workloads", std::string()));
   if (args.has("machines"))
     s.machines = bench::split_specs(args.get("machines", std::string()));
-  if (args.has("sched") || !smoke)
+  if (args.has("sched") || (!smoke && !stress))
     s.policies =
         parse_sched_list(args.get("sched", std::string("sb,ws,greedy,serial")));
   if (args.has("sigma"))
@@ -130,6 +162,7 @@ int main(int argc, char** argv) {
 
   exp::Sweep sweep(std::move(s), jobs);
   const auto& runs = sweep.run();
+  const auto emit_start = std::chrono::steady_clock::now();
 
   std::ostringstream title;
   title << "sweep '" << sweep.scenario().name << "': " << runs.size()
@@ -147,6 +180,21 @@ int main(int argc, char** argv) {
     std::ofstream os(csv);
     NDF_CHECK_MSG(bool(os), "cannot write --csv=" << csv);
     exp::write_sweep_csv(os, runs);
+  }
+
+  if (args.get("phase-times", false)) {
+    const double emit_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      emit_start)
+            .count();
+    const exp::PhaseTimes& pt = sweep.phase_times();
+    // stderr, so piping/redirecting stdout (the result table) stays
+    // byte-identical with and without the flag.
+    std::fprintf(stderr,
+                 "phase-times: workload-build %.3fs, condensation %.3fs, "
+                 "cell-execution %.3fs, emit %.3fs\n",
+                 pt.workload_build, pt.condensation, pt.cell_execution,
+                 emit_s);
   }
   return 0;
 }

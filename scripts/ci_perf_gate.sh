@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
 # Perf-regression gate for the parallel sweep engine.
 #
-# Runs the same grid through ndf_sweep twice — --jobs=1 (legacy serial
-# path) and --jobs=N (thread-pool fan-out) — and:
+# Runs the gate grid and the ndf_sweep --stress grid through the engine at
+# --jobs=1 (serial path) and --jobs=N (chunked thread-pool fan-out) and:
 #   1. FAILS if any output (stdout table, JSON, CSV) differs byte-for-byte
 #      between the two: parallel execution must be unobservable in results.
-#   2. Records wall-clock for both runs and the speedup into
-#      BENCH_sweep_parallel.json (uploaded as a CI artifact, so the
-#      parallel-efficiency trajectory is tracked across commits).
+#      The identity check also covers the smoke grid with and without
+#      --misses (measured LRU counters must be deterministic too).
+#   2. Records best-of-3 wall-clock for both runs, the speedup, and each
+#      run's peak RSS into BENCH_sweep_parallel.json (uploaded as a CI
+#      artifact, so the parallel-efficiency and memory trajectories are
+#      tracked across commits).
 #
-# The timing grid is deliberately bigger than --smoke: the smoke grid
-# finishes in ~20 ms, where thread startup dominates and a speedup number
-# is noise. The byte-identity check runs on BOTH grids. Speedup below
-# MIN_SPEEDUP is reported (and recorded) but only warns by default —
-# shared CI runners are too noisy for a hard latency gate; set
+# Measurement validity: both timed grids take >= 1 s serially (the old gate
+# grid finished in ~20 ms, where thread startup dominates and a speedup
+# number is noise), each timing is the best of 3 runs (the minimum is the
+# right estimator for wall-clock on a shared runner — noise only adds), and
+# peak RSS comes from resource.getrusage(RUSAGE_CHILDREN) around each child.
+# Speedup below MIN_SPEEDUP is reported (and recorded) but only warns by
+# default — shared CI runners are too noisy for a hard latency gate; set
 # PERF_GATE_STRICT=1 to make it fail.
 #
 # Usage: scripts/ci_perf_gate.sh <build-dir> [jobs]
@@ -21,16 +26,18 @@ set -euo pipefail
 
 BUILD_DIR=${1:?usage: ci_perf_gate.sh <build-dir> [jobs]}
 JOBS=${2:-4}
-MIN_SPEEDUP=${MIN_SPEEDUP:-1.5}
+MIN_SPEEDUP=${MIN_SPEEDUP:-2.5}
+# Trimmed repeat axis for the stress grid (CI uses the default; a local run
+# can crank it: STRESS_REPEAT=7 is the binary's own default grid).
+STRESS_REPEAT=${STRESS_REPEAT:-4}
 OUT="$BUILD_DIR/perf-gate"
 mkdir -p "$OUT"
 
 GATE_ARGS=(--name=perf-gate
            --workloads='mm:n=128;lcs:n=1024;cholesky:n=128;gen:family=sp,depth=8,fan=4,seed=7;gen:family=wavefront,n=32'
            --machines='flat16;deep4x4'
-           --sched=sb,ws,greedy,serial --sigma=0.33 --repeat=4)
-
-now() { python3 -c 'import time; print(time.monotonic())'; }
+           --sched=sb,ws,greedy,serial --sigma=0.33 --repeat=8)
+STRESS_ARGS=(--stress "--repeat=$STRESS_REPEAT")
 
 run_grid() { # <jobs> <prefix> [extra sweep args...]
   local jobs=$1 prefix=$2
@@ -38,6 +45,32 @@ run_grid() { # <jobs> <prefix> [extra sweep args...]
   "$BUILD_DIR/ndf_sweep" "$@" --jobs="$jobs" \
       --json="$OUT/$prefix.json" --csv="$OUT/$prefix.csv" \
       > "$OUT/$prefix.txt"
+}
+
+# Best-of-3 wall-clock + peak-RSS of one grid at one jobs value; appends a
+# "<label> <jobs> <best_wall_s> <peak_rss_kb>" line to $OUT/timings.txt.
+# getrusage(RUSAGE_CHILDREN) is cumulative, so ru_maxrss after the runs is
+# the max over them — exactly the peak we want to record.
+time_grid() { # <jobs> <prefix> <label> [sweep args...]
+  local jobs=$1 prefix=$2 label=$3
+  shift 3
+  python3 - "$label" "$jobs" "$OUT/timings.txt" \
+      "$BUILD_DIR/ndf_sweep" "$@" --jobs="$jobs" \
+      --json="$OUT/$prefix.json" --csv="$OUT/$prefix.csv" <<'EOF'
+import resource, subprocess, sys, time
+label, jobs, log = sys.argv[1:4]
+cmd = sys.argv[4:]
+prefix = next(a.split("=", 1)[1] for a in cmd if a.startswith("--json="))
+best = float("inf")
+for _ in range(3):
+    with open(prefix.rsplit(".", 1)[0] + ".txt", "w") as out:
+        t0 = time.monotonic()
+        subprocess.run(cmd, stdout=out, check=True)
+        best = min(best, time.monotonic() - t0)
+rss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+with open(log, "a") as f:
+    f.write(f"{label} {jobs} {best:.4f} {rss_kb}\n")
+EOF
 }
 
 check_identical() { # <prefix-a> <prefix-b> <label>
@@ -77,35 +110,62 @@ fi
 tail -2 "$OUT/cache-miss.txt"
 echo "OK: Theorem 1 held for all space-bounded runs (BENCH_cache_miss.json)"
 
-# --- determinism + timing on the perf grid ------------------------------
-T0=$(now); run_grid 1 gate-serial "${GATE_ARGS[@]}"; T1=$(now)
-T2=$(now); run_grid "$JOBS" gate-parallel "${GATE_ARGS[@]}"; T3=$(now)
+# --- determinism + best-of-3 timing + RSS on the timed grids ------------
+: > "$OUT/timings.txt"
+time_grid 1 gate-serial gate "${GATE_ARGS[@]}"
+time_grid "$JOBS" gate-parallel gate "${GATE_ARGS[@]}"
 check_identical gate-serial gate-parallel "perf grid"
 
-python3 - "$T0" "$T1" "$T2" "$T3" "$JOBS" "$MIN_SPEEDUP" \
+time_grid 1 stress-serial stress "${STRESS_ARGS[@]}"
+time_grid "$JOBS" stress-parallel stress "${STRESS_ARGS[@]}"
+check_identical stress-serial stress-parallel "stress grid"
+
+python3 - "$OUT/timings.txt" "$JOBS" "$MIN_SPEEDUP" "$STRESS_REPEAT" \
     "$BUILD_DIR/BENCH_sweep_parallel.json" <<'EOF'
 import json, os, sys
-t0, t1, t2, t3, jobs, min_speedup, path = sys.argv[1:8]
-serial_s = float(t1) - float(t0)
-parallel_s = float(t3) - float(t2)
-speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+log, jobs, min_speedup, stress_repeat, path = sys.argv[1:6]
+grids = {}
+for line in open(log):
+    label, j, wall, rss = line.split()
+    key = "serial" if int(j) == 1 else "parallel"
+    g = grids.setdefault(label, {})
+    g[f"{key}_wall_s"] = round(float(wall), 4)
+    g[f"{key}_peak_rss_kb"] = int(rss)
+for g in grids.values():
+    g["speedup"] = round(g["serial_wall_s"] / g["parallel_wall_s"], 3) \
+        if g["parallel_wall_s"] > 0 else float("inf")
 doc = {
     "bench": "sweep_parallel",
-    "grid": "perf-gate (mm:n=128;lcs:n=1024;cholesky:n=128 + 2 generated "
-            "workloads x 2 machines x 4 policies x 4 repeats = 160 runs)",
     "jobs": int(jobs),
-    "serial_wall_s": round(serial_s, 4),
-    "parallel_wall_s": round(parallel_s, 4),
-    "speedup": round(speedup, 3),
     "min_speedup": float(min_speedup),
+    "timing": "best of 3 runs per grid; peak RSS via "
+              "getrusage(RUSAGE_CHILDREN)",
+    "gate": {
+        "grid": "perf-gate (mm:n=128;lcs:n=1024;cholesky:n=128 + 2 "
+                "generated workloads x 2 machines x 4 policies x "
+                "8 repeats = 320 runs)",
+        **grids["gate"],
+    },
+    "stress": {
+        "grid": f"ndf_sweep --stress --repeat={stress_repeat} (6 deep/wide "
+                "generated workloads x 2 sigma x 3 machines x 4 policies)",
+        **grids["stress"],
+    },
 }
 with open(path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
-print(f"serial {serial_s:.3f}s, parallel({jobs}) {parallel_s:.3f}s, "
-      f"speedup {speedup:.2f}x (target > {min_speedup}x)")
-if speedup < float(min_speedup):
-    msg = f"speedup {speedup:.2f}x below target {min_speedup}x"
+failures = []
+for label, g in grids.items():
+    print(f"{label}: serial {g['serial_wall_s']:.3f}s, parallel({jobs}) "
+          f"{g['parallel_wall_s']:.3f}s, speedup {g['speedup']:.2f}x "
+          f"(target > {min_speedup}x), peak RSS "
+          f"{g['parallel_peak_rss_kb']} KB")
+    if g["speedup"] < float(min_speedup):
+        failures.append(f"{label} speedup {g['speedup']:.2f}x below "
+                        f"target {min_speedup}x")
+if failures:
+    msg = "; ".join(failures)
     if os.environ.get("PERF_GATE_STRICT") == "1":
         sys.exit(f"FAIL: {msg}")
     print(f"WARN: {msg} (non-fatal; PERF_GATE_STRICT=1 to enforce)")

@@ -1,17 +1,25 @@
 #include "exp/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "pmh/presets.hpp"
 #include "sched/condensed_dag.hpp"
 #include "sched/registry.hpp"
+#include "sched/sim_core.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ndf::exp {
 
 namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Coordinates + stats for one executed cell — identical fields on both
 /// execution paths so they cannot drift apart.
@@ -29,6 +37,30 @@ RunPoint make_run_point(const Scenario& s, const GridPoint& g, const Pmh& m,
   return pt;
 }
 
+/// One grid cell's result, padded to a cache line so concurrent writers of
+/// adjacent cells never share a line (the RunPoint header alone straddles
+/// fewer lines than its heap payload, but the slot boundary is what the
+/// writers contend on).
+struct alignas(64) ResultSlot {
+  RunPoint pt;
+};
+
+/// Executes grid cell i through `core`, constructing it on first use and
+/// reset()-rebinding it afterwards — the shared per-cell body of the serial
+/// loop and every parallel chunk.
+RunPoint run_cell(const Scenario& s, const GridPoint& g, const Pmh& m,
+                  const CondensedDag& dag, std::unique_ptr<SimCore>& core) {
+  const SchedOptions opts = point_options(s, g);
+  const auto policy = make_scheduler(s.policies[g.policy], opts);
+  if (core)
+    core->reset(dag, m, opts);
+  else
+    core = std::make_unique<SimCore>(dag, m, opts);
+  RunPoint pt = make_run_point(s, g, m, opts);
+  pt.stats = core->run(*policy);
+  return pt;
+}
+
 }  // namespace
 
 const std::vector<RunPoint>& Sweep::run() {
@@ -37,6 +69,7 @@ const std::vector<RunPoint>& Sweep::run() {
   // partial results the failed attempt accumulated.
   results_.clear();
   condensations_ = 0;
+  phase_times_ = {};
   validate(scenario_);
 
   std::vector<Pmh> machines;
@@ -48,10 +81,20 @@ const std::vector<RunPoint>& Sweep::run() {
   const std::size_t jobs =
       std::min(jobs_ == 0 ? ThreadPool::default_jobs() : jobs_,
                std::max<std::size_t>(grid.size(), 1));
-  if (jobs <= 1)
-    run_serial(machines, grid);
-  else
-    run_parallel(jobs, machines, grid);
+  try {
+    if (jobs <= 1)
+      run_serial(machines, grid);
+    else
+      run_parallel(jobs, machines, grid);
+  } catch (...) {
+    // A failed run must leave the object exactly as if run() was never
+    // called: no partial results, no partial (or full-plan) condensation
+    // count for callers to mistake for a completed sweep.
+    results_.clear();
+    condensations_ = 0;
+    phase_times_ = {};
+    throw;
+  }
 
   // Only a completed grid counts as run: a throw above (bad scenario, bad
   // machine spec, a failure inside a worker) must not poison this object
@@ -72,16 +115,26 @@ void Sweep::run_serial(const std::vector<Pmh>& machines,
   std::size_t cur_w = std::size_t(-1), cur_s = std::size_t(-1);
   std::vector<std::pair<std::vector<double>, std::unique_ptr<CondensedDag>>>
       dags;
+  // One SimCore reused (reset() per cell) across the segment sharing the
+  // dag cache. It dies with the cache: freed dags could be reallocated at
+  // the same address, which would fool the core's pointer-keyed duration
+  // table into serving a stale entry.
+  std::unique_ptr<SimCore> core;
 
   for (const GridPoint& g : grid) {
     if (g.workload != cur_w) {
-      // Drop the cached dags BEFORE the workload they point into dies.
+      // Drop the core, then the cached dags, BEFORE the workload they
+      // point into dies.
+      core.reset();
       dags.clear();
+      const double t0 = now_s();
       workload = std::make_unique<Workload>(scenario_.workloads[g.workload]);
+      phase_times_.workload_build += now_s() - t0;
       cur_w = g.workload;
       cur_s = std::size_t(-1);
     }
     if (g.sigma != cur_s) {
+      core.reset();
       dags.clear();
       cur_s = g.sigma;
     }
@@ -94,21 +147,19 @@ void Sweep::run_serial(const std::vector<Pmh>& machines,
         break;
       }
     if (!dag) {
+      const double t0 = now_s();
       dags.emplace_back(sizes,
                         std::make_unique<CondensedDag>(
                             workload->graph(), sizes,
                             scenario_.sigmas[g.sigma]));
+      phase_times_.condensation += now_s() - t0;
       dag = dags.back().second.get();
       ++condensations_;
     }
 
-    const SchedOptions opts = point_options(scenario_, g);
-    const auto policy = make_scheduler(scenario_.policies[g.policy], opts);
-    SimCore core(*dag, m, opts);
-
-    RunPoint pt = make_run_point(scenario_, g, m, opts);
-    pt.stats = core.run(*policy);
-    results_.push_back(std::move(pt));
+    const double t0 = now_s();
+    results_.push_back(run_cell(scenario_, g, m, *dag, core));
+    phase_times_.cell_execution += now_s() - t0;
   }
 }
 
@@ -120,7 +171,7 @@ void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
   // deterministic plan order; each slot is written by exactly one task.
   std::vector<std::unique_ptr<Workload>> workloads(scenario_.workloads.size());
   std::vector<std::unique_ptr<CondensedDag>> dags(plan.keys.size());
-  std::vector<RunPoint> results(grid.size());
+  std::vector<ResultSlot> results(grid.size());
 
   // Declared after everything the tasks touch: if a phase throws, the
   // pool's destructor drains and joins before any of the data above is
@@ -129,6 +180,7 @@ void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
 
   // Phase 1: build each workload the grid references exactly once
   // (elaboration is expensive; distinct workloads are independent).
+  double t0 = now_s();
   {
     std::vector<char> used(scenario_.workloads.size(), 0);
     for (const CondensationPlan::Key& k : plan.keys) used[k.workload] = 1;
@@ -141,11 +193,13 @@ void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
     }
     wait_all(futs);
   }
+  phase_times_.workload_build = now_s() - t0;
 
   // Phase 2: build each distinct workload × σ × cache-profile condensation
   // exactly once — the same invariant the serial path's rolling cache
   // enforces, here made explicit by the plan. The dags then fan out below
   // as shared immutable inputs.
+  t0 = now_s();
   {
     std::vector<std::future<void>> futs;
     futs.reserve(plan.keys.size());
@@ -159,33 +213,36 @@ void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
     }
     wait_all(futs);
   }
+  phase_times_.condensation = now_s() - t0;
+
+  // Phase 3: execute the grid in contiguous chunks, a few per worker — a
+  // chunk's cells cycle through ONE SimCore (reset() per cell), so all
+  // per-run arenas and the (condensation, machine)-keyed duration table
+  // amortize over the chunk instead of being rebuilt per cell. Expansion
+  // order keeps cells that share a condensation contiguous, so chunk
+  // boundaries, not cells, are where the core rebinds to a new dag. Each
+  // cell writes only its own padded slot; the merged vector is in
+  // expand_grid order and emitter output is byte-identical to the serial
+  // runner's at any --jobs value.
+  t0 = now_s();
+  parallel_for_chunks(
+      pool, grid.size(), 4 * jobs,
+      [this, &grid, &plan, &machines, &dags, &results](std::size_t b,
+                                                       std::size_t e) {
+        std::unique_ptr<SimCore> core;
+        for (std::size_t i = b; i < e; ++i) {
+          const GridPoint& g = grid[i];
+          results[i].pt = run_cell(scenario_, g, machines[g.machine],
+                                   *dags[plan.cell[i]], core);
+        }
+      });
+  phase_times_.cell_execution = now_s() - t0;
+
+  results_.reserve(results.size());
+  for (ResultSlot& s : results) results_.push_back(std::move(s.pt));
+  // Reported only now: a throw in any phase above leaves the count at the
+  // zero run() started from, never at plan size with no results behind it.
   condensations_ = plan.keys.size();
-
-  // Phase 3: execute every grid cell. All mutable state (SimCore, policy,
-  // stats) is worker-local; each task writes only its own grid slot, so
-  // the merged vector is in expand_grid order and emitter output is
-  // byte-identical to the serial runner's.
-  {
-    std::vector<std::future<void>> futs;
-    futs.reserve(grid.size());
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      futs.push_back(
-          pool.submit([this, i, &grid, &plan, &machines, &dags, &results] {
-            const GridPoint& g = grid[i];
-            const Pmh& m = machines[g.machine];
-            const SchedOptions opts = point_options(scenario_, g);
-            const auto policy =
-                make_scheduler(scenario_.policies[g.policy], opts);
-            SimCore core(*dags[plan.cell[i]], m, opts);
-            RunPoint pt = make_run_point(scenario_, g, m, opts);
-            pt.stats = core.run(*policy);
-            results[i] = std::move(pt);
-          }));
-    }
-    wait_all(futs);
-  }
-
-  results_ = std::move(results);
 }
 
 }  // namespace ndf::exp

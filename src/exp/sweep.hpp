@@ -7,18 +7,27 @@
 //
 // Grid cells are independent once their condensation exists, so the runner
 // executes them on a thread pool (support/thread_pool.hpp): shared
-// condensations are built concurrently first, then cells fan out with all
-// per-run state (SimCore, policy, stats) worker-local, and each result is
-// written into its grid slot — the result vector is in expand_grid order
-// regardless of completion order, so emitter output is byte-identical to
-// the serial runner's. `jobs == 1` bypasses the pool entirely and runs the
-// legacy serial loop (also the path with the smallest memory footprint:
-// it keeps at most one workload's dags alive, where the parallel engine
-// holds every workload and condensation the grid needs at once).
+// condensations are built concurrently first, then cells fan out in
+// *chunks* — contiguous grid ranges, a few per worker — rather than one
+// pool task per cell. Each chunk runs its cells through one reused SimCore
+// (reset() per cell keeps every arena's capacity), so per-cell cost is the
+// simulation itself, not allocation churn; expansion order makes cells
+// sharing a (condensation, machine) contiguous, so the core's cached
+// duration table is recomputed once per binding, not once per cell. Each
+// cell writes only its own pre-sized, cache-line-padded result slot, so
+// the merged vector is in expand_grid order regardless of completion order
+// and emitter output is byte-identical at every `--jobs` value. `jobs == 1`
+// bypasses the pool and runs the serial loop (also the path with the
+// smallest memory footprint: it keeps at most one workload's dags alive,
+// where the parallel engine holds every workload and condensation the grid
+// needs at once); the serial loop reuses one core the same way within each
+// (workload, σ) segment.
 //
 // condensations_built() exposes the actual build count so tests can assert
 // the reuse invariant ("exactly once per workload × σ × cache profile") —
-// both execution paths must report the same number.
+// both execution paths must report the same number. A run that throws
+// leaves the object fully reset (no results, zero condensations) and a
+// later run() retries from scratch.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +35,17 @@
 #include "exp/scenario.hpp"
 
 namespace ndf::exp {
+
+/// Wall-clock seconds spent in each phase of a sweep, for `--phase-times`
+/// style reporting. On the parallel path these are the barrier-to-barrier
+/// phase times; on the serial path each activity's time is accumulated as
+/// the rolling loop interleaves them. Emission happens outside Sweep, so
+/// its time is the caller's to measure.
+struct PhaseTimes {
+  double workload_build = 0.0;  ///< elaborating workload graphs
+  double condensation = 0.0;    ///< building CondensedDags
+  double cell_execution = 0.0;  ///< simulating grid cells
+};
 
 class Sweep {
  public:
@@ -44,8 +64,11 @@ class Sweep {
   /// Results so far (empty before run()).
   const std::vector<RunPoint>& results() const { return results_; }
   /// Number of CondensedDags this sweep built (== distinct
-  /// workload × σ × cache-size-profile combinations touched).
+  /// workload × σ × cache-size-profile combinations touched). Zero until
+  /// a run completes — a failed run does not report a partial count.
   std::size_t condensations_built() const { return condensations_; }
+  /// Per-phase wall-clock of the completed run (zeros before/without one).
+  const PhaseTimes& phase_times() const { return phase_times_; }
   /// The worker count requested at construction (0 = auto).
   std::size_t jobs() const { return jobs_; }
 
@@ -59,6 +82,7 @@ class Sweep {
   std::size_t jobs_ = 0;
   std::vector<RunPoint> results_;
   std::size_t condensations_ = 0;
+  PhaseTimes phase_times_;
   bool ran_ = false;
 };
 

@@ -15,6 +15,16 @@ CacheOccupancy::CacheOccupancy(const Pmh& machine) {
   }
 }
 
+void CacheOccupancy::reset() {
+  for (auto& level : caches_)
+    for (Cache& c : level) {
+      c.entries.clear();
+      c.used = 0.0;
+    }
+  std::fill(misses_.begin(), misses_.end(), 0.0);
+  clock_ = 0;
+}
+
 CacheOccupancy::Cache& CacheOccupancy::at(std::size_t level,
                                           std::size_t cache) {
   NDF_DCHECK(level >= 1 && level <= caches_.size());

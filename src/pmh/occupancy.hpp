@@ -36,6 +36,12 @@ class CacheOccupancy {
  public:
   explicit CacheOccupancy(const Pmh& machine);
 
+  /// Empties every cache and zeroes all miss counters and the recency
+  /// clock, as if freshly constructed for the same machine — but entry
+  /// vectors keep their capacity, so a reused instance allocates nothing
+  /// in steady state (SimCore::reset cycles one instance per run).
+  void reset();
+
   /// Runs footprint `task` (a level-`level` decomposition index) of `size`
   /// words through the level-`level` cache `cache`: a hit refreshes
   /// recency and returns 0; a miss loads the footprint (evicting unpinned

@@ -30,15 +30,37 @@ CondensedDag::CondensedDag(const StrandGraph& g, std::vector<double> sizes,
   for (std::size_t l = 1; l <= L; ++l)
     dec_.push_back(decompose(*tree_, sigma_ * sizes_[l - 1]));
 
-  ext0_.resize(L);
-  task_units_.resize(L);
+  // Flat (level, task) arena layout: level l's counters start at
+  // ext_off_[l-1]. All per-run counter state and the per-task size table
+  // share these offsets.
+  ext_off_.resize(L);
+  std::size_t arena = 0;
   for (std::size_t l = 1; l <= L; ++l) {
-    ext0_[l - 1].assign(dec_[l - 1].maximal.size(), 0);
-    task_units_[l - 1].assign(dec_[l - 1].maximal.size(), 0);
+    ext_off_[l - 1] = arena;
+    arena += dec_[l - 1].maximal.size();
   }
+  ext0_flat_.assign(arena, 0);
+
+  task_units_.resize(L);
+  for (std::size_t l = 1; l <= L; ++l)
+    task_units_[l - 1].assign(dec_[l - 1].maximal.size(), 0);
+
+  unit_task_.resize(L * num_units());
   for (std::size_t u = 0; u < num_units(); ++u)
-    for (std::size_t l = 1; l <= L; ++l)
-      ++task_units_[l - 1][dec_[l - 1].owner[dec_[0].maximal[u]]];
+    for (std::size_t l = 1; l <= L; ++l) {
+      const int t = dec_[l - 1].owner[dec_[0].maximal[u]];
+      unit_task_[(l - 1) * num_units() + u] = std::uint32_t(t);
+      ++task_units_[l - 1][t];
+    }
+
+  task_size_.resize(arena);
+  level_footprint_.assign(L, 0.0);
+  for (std::size_t l = 1; l <= L; ++l)
+    for (std::size_t t = 0; t < dec_[l - 1].maximal.size(); ++t) {
+      const double s = tree_->size_of(dec_[l - 1].maximal[t]);
+      task_size_[ext_off_[l - 1] + t] = s;
+      level_footprint_[l - 1] += s;
+    }
 
   unit_work_.resize(num_units());
   for (std::size_t u = 0; u < num_units(); ++u) {
@@ -46,13 +68,28 @@ CondensedDag::CondensedDag(const StrandGraph& g, std::vector<double> sizes,
     total_work_ += unit_work_[u];
   }
 
-  // Dependence-counter template: one external arrow per edge crossing a
-  // maximal task boundary, at every level it crosses. Uses the same walk
-  // SimCore's count_edge decrements through.
-  for (VertexId v = 0; v < g_->num_vertices(); ++v)
-    for (VertexId w : g_->successors(v))
-      for_each_external_arrow(
-          v, w, [&](std::size_t l, int t) { ++ext0_[l - 1][t]; });
+  // Dependence-counter template and the per-edge arrow CSR, built by the
+  // one boundary-crossing walk (for_each_external_arrow). Edge ids follow
+  // (vertex, successor-index) order — exactly the order SimCore's firing
+  // loop visits them — so the event loop replays this walk as a linear
+  // scan of arrows_ instead of re-deriving it per fire.
+  edge_base_.resize(g_->num_vertices());
+  arrow_off_.reserve(g_->num_edges() + 1);
+  arrow_off_.push_back(0);
+  std::size_t e = 0;
+  for (VertexId v = 0; v < g_->num_vertices(); ++v) {
+    edge_base_[v] = e;
+    for (VertexId w : g_->successors(v)) {
+      for_each_external_arrow(v, w, [&](std::size_t l, int t) {
+        const std::size_t flat = ext_off_[l - 1] + std::size_t(t);
+        ++ext0_flat_[flat];
+        arrows_.push_back({std::uint32_t(flat), std::uint32_t(l)});
+      });
+      arrow_off_.push_back(std::uint32_t(arrows_.size()));
+      ++e;
+    }
+  }
+  NDF_CHECK(e == g_->num_edges());
 
   in_deg0_.resize(g_->num_vertices());
   for (VertexId v = 0; v < g_->num_vertices(); ++v)

@@ -59,9 +59,11 @@ class CondensedDag {
   }
 
   /// Invokes fn(level, task) for every level at which edge (v, w) is an
-  /// external incoming arrow of w's maximal task — the one boundary-crossing
-  /// walk shared by the +1 template build and SimCore's -1 decrements, so
-  /// the two can never diverge. Inline: it runs per edge per fire.
+  /// external incoming arrow of w's maximal task — the boundary-crossing
+  /// walk the construction-time template build runs per edge. The event
+  /// loop never re-walks it: the result is frozen into the per-edge arrow
+  /// CSR below, so the +1 template and SimCore's -1 decrements are
+  /// literally the same data and can never diverge.
   template <typename Fn>
   void for_each_external_arrow(VertexId v, VertexId w, Fn&& fn) const {
     const NodeId nu = g_->owner(v), nv = g_->owner(w);
@@ -72,12 +74,59 @@ class CondensedDag {
     }
   }
 
-  /// Initial unsatisfied external dataflow arrows per level per maximal
-  /// task — the template a run copies its mutable counters from.
-  const std::vector<std::vector<int>>& initial_ext() const { return ext0_; }
+  // --- flat run-state templates (contiguous arenas, memcpy-resettable) ----
+  //
+  // All per-(level, task) counters of a run live in ONE flat arena indexed
+  // by ext_off(level) + task; a SimCore reset is a single vector assign
+  // from initial_ext_flat() instead of L allocations. The per-edge arrow
+  // CSR precomputes, for every DAG edge in (vertex, successor-index) order,
+  // which flat counters the edge decrements when it fires — the event
+  // loop's hottest walk reduced to a linear scan of precomputed entries.
+
+  /// Offset of level `level`'s counters in the flat (level, task) arena.
+  std::size_t ext_off(std::size_t level) const { return ext_off_[level - 1]; }
+  /// Size of the flat arena (Σ_level num tasks at that level).
+  std::size_t ext_arena_size() const { return ext0_flat_.size(); }
+  /// Initial unsatisfied external dataflow arrows, flat arena layout — the
+  /// template a run copies its mutable counters from.
+  const std::vector<int>& initial_ext_flat() const { return ext0_flat_; }
   /// Initial in-degree per DAG vertex, same role.
   const std::vector<std::uint32_t>& initial_in_degree() const {
     return in_deg0_;
+  }
+
+  /// One precomputed external-arrow decrement: edge fires → --arena[flat],
+  /// and on reaching zero the level-`level` task `flat - ext_off(level)`
+  /// became ready.
+  struct ArrowRef {
+    std::uint32_t flat;   ///< index into the flat (level, task) arena
+    std::uint32_t level;  ///< cache level of the crossing (1-based)
+  };
+  /// Id of vertex v's first outgoing edge; edge ids follow successor order,
+  /// so v's i-th successor is edge `edge_base(v) + i`.
+  std::size_t edge_base(VertexId v) const { return edge_base_[v]; }
+  /// External arrows of edge `e`, as [begin, end) into one shared arena.
+  const ArrowRef* arrows_begin(std::size_t e) const {
+    return arrows_.data() + arrow_off_[e];
+  }
+  const ArrowRef* arrows_end(std::size_t e) const {
+    return arrows_.data() + arrow_off_[e + 1];
+  }
+
+  /// Level-`level` maximal task containing unit `u` (flat table — the hot
+  /// per-pick lookup of the ws cache model and the occupancy layer).
+  int unit_task(std::size_t level, int u) const {
+    return int(unit_task_[(level - 1) * num_units() + u]);
+  }
+  /// Footprint s(t) of level-`level` maximal task `t` (flat arena, same
+  /// offsets as the ext counters).
+  double task_size(std::size_t level, int t) const {
+    return task_size_[ext_off_[level - 1] + t];
+  }
+  /// Σ_t s(t) over level-`level` maximal tasks — the schedule-independent
+  /// per-level footprint total the distributed charge model bills once.
+  double level_footprint(std::size_t level) const {
+    return level_footprint_[level - 1];
   }
 
   /// True iff this condensation can drive a run on `machine` at `sigma`
@@ -99,8 +148,17 @@ class CondensedDag {
   std::vector<double> unit_work_;
   double total_work_ = 0.0;
 
-  std::vector<std::vector<int>> ext0_;  // [l-1][task]
+  std::vector<std::size_t> ext_off_;   // [l-1] = arena offset of level l
+  std::vector<int> ext0_flat_;         // flat (level, task) template
   std::vector<std::uint32_t> in_deg0_;
+
+  std::vector<std::size_t> edge_base_;   // [v] = id of v's first out-edge
+  std::vector<std::uint32_t> arrow_off_; // [e..e+1) spans arrows_
+  std::vector<ArrowRef> arrows_;         // external-arrow decrement lists
+
+  std::vector<std::uint32_t> unit_task_; // [(l-1)*units + u] = task at l
+  std::vector<double> task_size_;        // flat arena: s(t) per (level, task)
+  std::vector<double> level_footprint_;  // [l-1] = Σ_t s(t)
 };
 
 }  // namespace ndf

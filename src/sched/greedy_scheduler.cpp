@@ -31,7 +31,7 @@ class GreedyScheduler final : public Scheduler {
 
   void init(SimCore& core) override {
     core_ = &core;
-    unit_dur_ = core.distributed_unit_durations();
+    unit_dur_ = &core.distributed_unit_durations();
     core.charge_condensed_footprints();
   }
 
@@ -47,12 +47,12 @@ class GreedyScheduler final : public Scheduler {
     if (ready_.empty()) return {};
     const int u = ready_.front();
     ready_.pop_front();
-    return {u, unit_dur_[u]};
+    return {u, (*unit_dur_)[u]};
   }
 
  private:
   SimCore* core_ = nullptr;
-  std::vector<double> unit_dur_;
+  const std::vector<double>* unit_dur_ = nullptr;  // core's cached table
   std::deque<int> ready_;  // global FIFO
 };
 

@@ -65,7 +65,7 @@ class SbScheduler final : public Scheduler {
       }
     }
 
-    unit_dur_ = core.distributed_unit_durations();
+    unit_dur_ = &core.distributed_unit_durations();
     unit_dispatched_.assign(core.num_units(), false);
 
     used_.resize(L);
@@ -108,13 +108,13 @@ class SbScheduler final : public Scheduler {
       if (!q.empty()) {
         const int u = q.front();
         q.pop_front();
-        return {u, unit_dur_[u]};
+        return {u, (*unit_dur_)[u]};
       }
     }
     if (!runq_mem_.empty()) {
       const int u = runq_mem_.front();
       runq_mem_.pop_front();
-      return {u, unit_dur_[u]};
+      return {u, (*unit_dur_)[u]};
     }
     return {};
   }
@@ -252,7 +252,9 @@ class SbScheduler final : public Scheduler {
 
   std::vector<std::vector<Task>> task_;             // task_[l-1]
   std::vector<std::vector<std::vector<int>>> kids_; // kids_[l-1][t] at l-1
-  std::vector<double> unit_dur_;
+  // The core's cached distributed-charge table (valid for this run's
+  // (dag, machine, charge) binding — no per-run copy).
+  const std::vector<double>* unit_dur_ = nullptr;
   std::vector<bool> unit_dispatched_;
 
   // Cache occupancy and child leases, per level.

@@ -29,7 +29,7 @@ class SerialScheduler final : public Scheduler {
 
   void init(SimCore& core) override {
     core_ = &core;
-    unit_dur_ = core.distributed_unit_durations();
+    unit_dur_ = &core.distributed_unit_durations();
     core.charge_condensed_footprints();
   }
 
@@ -45,12 +45,12 @@ class SerialScheduler final : public Scheduler {
     if (proc != 0 || ready_.empty()) return {};
     const int u = ready_.top();
     ready_.pop();
-    return {u, unit_dur_[u]};
+    return {u, (*unit_dur_)[u]};
   }
 
  private:
   SimCore* core_ = nullptr;
-  std::vector<double> unit_dur_;
+  const std::vector<double>* unit_dur_ = nullptr;  // core's cached table
   std::priority_queue<int, std::vector<int>, std::greater<int>> ready_;
 };
 

@@ -1,44 +1,84 @@
 #include "sched/sim_core.hpp"
 
+#include <algorithm>
+
 namespace ndf {
 
 SimCore::SimCore(const StrandGraph& g, const Pmh& machine,
                  const SchedOptions& opts)
     : owned_(std::make_unique<CondensedDag>(g, level_cache_sizes(machine),
                                             opts.sigma)),
-      dag_(*owned_),
-      m_(machine),
+      dag_(owned_.get()),
+      m_(&machine),
       opts_(opts) {
   init_run_state();
 }
 
 SimCore::SimCore(const CondensedDag& dag, const Pmh& machine,
                  const SchedOptions& opts)
-    : dag_(dag), m_(machine), opts_(opts) {
-  NDF_CHECK_MSG(dag_.compatible_with(m_, opts_.sigma),
-                "CondensedDag(sigma=" << dag_.sigma() << ", "
-                                      << dag_.num_levels()
+    : dag_(&dag), m_(&machine), opts_(opts) {
+  NDF_CHECK_MSG(dag_->compatible_with(*m_, opts_.sigma),
+                "CondensedDag(sigma=" << dag_->sigma() << ", "
+                                      << dag_->num_levels()
                                       << " levels) does not match machine "
-                                      << m_.to_string() << " at sigma "
+                                      << m_->to_string() << " at sigma "
                                       << opts_.sigma);
   init_run_state();
 }
 
-void SimCore::init_run_state() {
-  ext_ = dag_.initial_ext();
-  in_deg_ = dag_.initial_in_degree();
-  fired_.assign(dag_.graph().num_vertices(), 0);
+void SimCore::reset(const CondensedDag& dag, const Pmh& machine,
+                    const SchedOptions& opts) {
+  NDF_CHECK_MSG(dag.compatible_with(machine, opts.sigma),
+                "CondensedDag(sigma=" << dag.sigma() << ", "
+                                      << dag.num_levels()
+                                      << " levels) does not match machine "
+                                      << machine.to_string() << " at sigma "
+                                      << opts.sigma);
+  // Rebinding to an external dag drops the privately built one (if any);
+  // rebinding to the owned dag itself keeps it alive.
+  if (owned_ && owned_.get() != &dag) owned_.reset();
+  dag_ = &dag;
+  m_ = &machine;
+  opts_ = opts;
+  policy_ = nullptr;
+  ready_hooks_enabled_ = false;
+  init_run_state();
+}
 
-  stats_.total_work = dag_.total_work();
+void SimCore::init_run_state() {
+  const std::vector<int>& ext0 = dag_->initial_ext_flat();
+  ext_.assign(ext0.begin(), ext0.end());
+  const std::vector<std::uint32_t>& deg0 = dag_->initial_in_degree();
+  in_deg_.assign(deg0.begin(), deg0.end());
+  fired_.assign(dag_->graph().num_vertices(), 0);
+  cascade_.clear();
+  events_.clear();
+  idle_.clear();
+  busy_time_ = 0.0;
+
+  stats_ = SchedStats{};
+  stats_.total_work = dag_->total_work();
   stats_.atomic_units = num_units();
   stats_.misses.assign(num_levels(), 0.0);
-  if (opts_.measure_misses) occ_ = std::make_unique<CacheOccupancy>(m_);
+
+  if (opts_.measure_misses) {
+    // The occupancy layer's shape depends only on the machine: reuse the
+    // existing instance (cleared, capacity kept) while the binding holds.
+    if (occ_ && occ_machine_ == m_) {
+      occ_->reset();
+    } else {
+      occ_ = std::make_unique<CacheOccupancy>(*m_);
+      occ_machine_ = m_;
+    }
+  } else {
+    occ_.reset();
+    occ_machine_ = nullptr;
+  }
 }
 
 void SimCore::pin_footprint(std::size_t level, std::size_t cache, int task) {
   if (!occ_) return;
-  const NodeId root = dag_.decomposition(level).maximal[task];
-  occ_->pin(level, cache, task, tree().size_of(root));
+  occ_->pin(level, cache, task, dag_->task_size(level, task));
 }
 
 void SimCore::unpin_footprint(std::size_t level, std::size_t cache,
@@ -47,58 +87,76 @@ void SimCore::unpin_footprint(std::size_t level, std::size_t cache,
 }
 
 void SimCore::touch_unit(std::size_t proc, int u) {
-  const NodeId root = dag_.unit_root(u);
   for (std::size_t l = 1; l <= num_levels(); ++l) {
-    const Decomposition& d = dag_.decomposition(l);
-    const int t = d.owner[root];
-    occ_->touch(l, m_.cache_above(proc, l), t, tree().size_of(d.maximal[t]));
+    const int t = dag_->unit_task(l, u);
+    occ_->touch(l, m_->cache_above(proc, l), t, dag_->task_size(l, t));
   }
 }
 
-std::vector<double> SimCore::distributed_unit_durations() const {
-  std::vector<double> dur(num_units());
+const std::vector<double>& SimCore::distributed_unit_durations() const {
+  if (dur_dag_ == dag_ && dur_machine_ == m_ &&
+      dur_charge_ == opts_.charge_misses)
+    return dur_;
+  dur_.assign(num_units(), 0.0);
   for (std::size_t u = 0; u < num_units(); ++u) {
     double charge = 0.0;
     if (opts_.charge_misses)
       for (std::size_t l = 1; l <= num_levels(); ++l) {
-        const Decomposition& d = dag_.decomposition(l);
-        const int t = d.owner[dag_.unit_root(u)];
-        charge += tree().size_of(d.maximal[t]) * m_.miss_cost(l) /
-                  double(dag_.task_units(l, t));
+        const int t = dag_->unit_task(l, u);
+        charge += dag_->task_size(l, t) * m_->miss_cost(l) /
+                  double(dag_->task_units(l, t));
       }
-    dur[u] = dag_.unit_work(u) + charge;
+    dur_[u] = dag_->unit_work(u) + charge;
   }
-  return dur;
+  dur_dag_ = dag_;
+  dur_machine_ = m_;
+  dur_charge_ = opts_.charge_misses;
+  return dur_;
 }
 
 std::vector<int> SimCore::initially_ready_units() const {
   std::vector<int> out;
+  const std::size_t off = dag_->ext_off(1);
   for (std::size_t u = 0; u < num_units(); ++u)
-    if (ext_[0][u] == 0) out.push_back(static_cast<int>(u));
+    if (ext_[off + u] == 0) out.push_back(static_cast<int>(u));
   return out;
 }
 
 void SimCore::charge_condensed_footprints() {
   for (std::size_t l = 1; l <= num_levels(); ++l)
-    for (NodeId root : dag_.decomposition(l).maximal)
-      stats_.misses[l - 1] += tree().size_of(root);
+    stats_.misses[l - 1] += dag_->level_footprint(l);
 }
 
-void SimCore::count_edge(VertexId v, VertexId w, int delta) {
-  dag_.for_each_external_arrow(v, w, [&](std::size_t l, int t) {
-    int& e = ext_[l - 1][t];
-    e += delta;
-    if (delta < 0 && e == 0 && ready_hooks_enabled_)
-      policy_->on_task_ready(l, t);
-  });
+void SimCore::push_event(const Ev& e) {
+  events_.push_back(e);
+  std::push_heap(events_.begin(), events_.end(), std::greater<Ev>{});
+}
+
+SimCore::Ev SimCore::pop_event() {
+  std::pop_heap(events_.begin(), events_.end(), std::greater<Ev>{});
+  const Ev e = events_.back();
+  events_.pop_back();
+  return e;
 }
 
 void SimCore::fire_vertex(VertexId v) {
   if (fired_[v]) return;
   fired_[v] = 1;
-  const StrandGraph& g = dag_.graph();
-  for (VertexId w : g.successors(v)) {
-    count_edge(v, w, -1);
+  const StrandGraph& g = dag_->graph();
+  const std::vector<VertexId>& succ = g.successors(v);
+  std::size_t e = dag_->edge_base(v);
+  for (std::size_t i = 0; i < succ.size(); ++i, ++e) {
+    const VertexId w = succ[i];
+    // Precomputed external-arrow decrements of edge (v, w): the same
+    // boundary-crossing walk the +1 template was built from, frozen into
+    // the dag's arrow CSR at condensation time.
+    for (const CondensedDag::ArrowRef* a = dag_->arrows_begin(e);
+         a != dag_->arrows_end(e); ++a) {
+      int& cnt = ext_[a->flat];
+      if (--cnt == 0 && ready_hooks_enabled_)
+        policy_->on_task_ready(a->level,
+                               int(a->flat - dag_->ext_off(a->level)));
+    }
     if (--in_deg_[w] == 0 && !fired_[w] && is_control(w))
       cascade_.push_back(w);
   }
@@ -114,17 +172,19 @@ void SimCore::cascade_all() {
 }
 
 void SimCore::complete_unit(int u) {
-  const NodeId root = dag_.unit_root(u);
-  std::vector<NodeId> stack{root}, order;
-  while (!stack.empty()) {
-    NodeId n = stack.back();
-    stack.pop_back();
-    order.push_back(n);
-    for (NodeId c : tree().node(n).children) stack.push_back(c);
+  const NodeId root = dag_->unit_root(u);
+  walk_stack_.clear();
+  walk_order_.clear();
+  walk_stack_.push_back(root);
+  while (!walk_stack_.empty()) {
+    NodeId n = walk_stack_.back();
+    walk_stack_.pop_back();
+    walk_order_.push_back(n);
+    for (NodeId c : tree().node(n).children) walk_stack_.push_back(c);
   }
-  const StrandGraph& g = dag_.graph();
+  const StrandGraph& g = dag_->graph();
   // Children before parents so the unit root's exit fires last.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  for (auto it = walk_order_.rbegin(); it != walk_order_.rend(); ++it) {
     fire_vertex(g.enter(*it));
     fire_vertex(g.exit(*it));
   }
@@ -132,11 +192,11 @@ void SimCore::complete_unit(int u) {
 }
 
 void SimCore::dispatch(double now) {
-  std::vector<std::size_t> still_idle;
+  still_idle_.clear();
   for (std::size_t p : idle_) {
     const Assignment a = policy_->pick(p, now);
     if (a.unit < 0) {
-      still_idle.push_back(p);
+      still_idle_.push_back(p);
       continue;
     }
     busy_time_ += a.duration;
@@ -147,10 +207,10 @@ void SimCore::dispatch(double now) {
     if (opts_.trace)
       opts_.trace->push_back(TraceEvent{now, now + a.duration,
                                         static_cast<std::uint32_t>(p),
-                                        dag_.unit_root(a.unit)});
-    events_.push(Ev{now + a.duration, p, a.unit});
+                                        dag_->unit_root(a.unit)});
+    push_event(Ev{now + a.duration, p, a.unit});
   }
-  idle_.swap(still_idle);
+  idle_.swap(still_idle_);
 }
 
 SchedStats SimCore::run(Scheduler& policy) {
@@ -161,11 +221,11 @@ SchedStats SimCore::run(Scheduler& policy) {
   // external arrow per edge crossing a maximal task boundary, at every
   // level it crosses) — already copied by init_run_state().
 
-  for (std::size_t p = 0; p < m_.num_processors(); ++p) idle_.push_back(p);
+  for (std::size_t p = 0; p < m_->num_processors(); ++p) idle_.push_back(p);
 
   // Initial cascade: fire every dependency-free control vertex. Readiness
   // hooks stay off — the on_start scans cover everything ready at time 0.
-  const StrandGraph& g = dag_.graph();
+  const StrandGraph& g = dag_->graph();
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     if (in_deg_[v] == 0 && !fired_[v] && is_control(v)) cascade_.push_back(v);
   cascade_all();
@@ -177,8 +237,7 @@ SchedStats SimCore::run(Scheduler& policy) {
   double now = 0.0;
   std::size_t done = 0;
   while (!events_.empty()) {
-    const Ev ev = events_.top();
-    events_.pop();
+    const Ev ev = pop_event();
     now = ev.time;
     idle_.push_back(ev.proc);
     ++done;
@@ -191,14 +250,14 @@ SchedStats SimCore::run(Scheduler& policy) {
                               << num_units() << " units completed");
   stats_.makespan = now;
   for (std::size_t l = 1; l <= num_levels(); ++l)
-    stats_.miss_cost += stats_.misses[l - 1] * m_.miss_cost(l);
+    stats_.miss_cost += stats_.misses[l - 1] * m_->miss_cost(l);
   if (occ_) {
     stats_.measured_misses = occ_->level_misses();
     for (std::size_t l = 1; l <= num_levels(); ++l)
-      stats_.comm_cost += stats_.measured_misses[l - 1] * m_.miss_cost(l);
+      stats_.comm_cost += stats_.measured_misses[l - 1] * m_->miss_cost(l);
   }
   stats_.utilization =
-      now > 0 ? busy_time_ / (double(m_.num_processors()) * now) : 1.0;
+      now > 0 ? busy_time_ / (double(m_->num_processors()) * now) : 1.0;
   return stats_;
 }
 

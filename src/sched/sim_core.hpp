@@ -12,10 +12,16 @@
 // The static half of the machinery — decompositions, unit work, dependence
 // templates — lives in an immutable CondensedDag. SimCore is the cheap
 // per-run half: mutable counters, the event queue, and stats. Construct one
-// SimCore per run, either from a graph+machine (builds a private
-// CondensedDag, the historical interface) or from a shared CondensedDag so
-// a sweep reuses one condensation across policies and machines (the
-// src/exp/ subsystem's fast path).
+// SimCore either from a graph+machine (builds a private CondensedDag, the
+// historical interface) or from a shared CondensedDag so a sweep reuses one
+// condensation across policies and machines (the src/exp/ subsystem's fast
+// path). One instance is reusable across runs: reset(dag, machine, opts)
+// rebinds it and restores every counter arena from the dag's templates
+// while keeping all buffer capacity — the sweep engine runs thousands of
+// grid cells through one worker-local core with zero per-cell allocation
+// churn (mutable state lives in flat arenas, the event queue is a plain
+// vector-heap, and the distributed duration table is cached across runs
+// that share a (dag, machine, charge) binding).
 //
 // The split keeps policies small: SB is anchoring/boundedness/allocation,
 // WS is victim selection plus the footprint-reload cache model, greedy and
@@ -25,7 +31,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "pmh/machine.hpp"
@@ -146,27 +151,38 @@ class SimCore {
   SimCore(const CondensedDag& dag, const Pmh& machine,
           const SchedOptions& opts);
 
+  /// Rebinds this core to (dag, machine, opts) and restores all per-run
+  /// state from the dag's templates, as if freshly constructed — but every
+  /// buffer keeps its capacity, so a core cycled through a sweep chunk
+  /// allocates only when a bigger dag than any before arrives. Stats from
+  /// a reset-reused core are bit-identical to a fresh core's (tested).
+  /// `dag` and `machine` must outlive the core until the next reset.
+  void reset(const CondensedDag& dag, const Pmh& machine,
+             const SchedOptions& opts);
+
   SchedStats run(Scheduler& policy);
 
   // --- static structure available from Scheduler::init on -----------------
-  const CondensedDag& dag() const { return dag_; }
-  const SpawnTree& tree() const { return dag_.tree(); }
-  const Pmh& machine() const { return m_; }
+  const CondensedDag& dag() const { return *dag_; }
+  const SpawnTree& tree() const { return dag_->tree(); }
+  const Pmh& machine() const { return *m_; }
 
-  std::size_t num_levels() const { return dag_.num_levels(); }
+  std::size_t num_levels() const { return dag_->num_levels(); }
   /// σM_level-maximal decomposition (level in 1..num_levels()).
   const Decomposition& decomposition(std::size_t level) const {
-    return dag_.decomposition(level);
+    return dag_->decomposition(level);
   }
 
   /// Atomic units are the σM1-maximal tasks, indexed in spawn-tree
   /// (depth-first, left-to-right) order.
-  std::size_t num_units() const { return dag_.num_units(); }
-  NodeId unit_root(int u) const { return dag_.unit_root(u); }
-  double unit_work(int u) const { return dag_.unit_work(u); }
+  std::size_t num_units() const { return dag_->num_units(); }
+  NodeId unit_root(int u) const { return dag_->unit_root(u); }
+  double unit_work(int u) const { return dag_->unit_work(u); }
 
   /// Unsatisfied external incoming dataflow arrows of a maximal task.
-  int task_ext(std::size_t level, int t) const { return ext_[level - 1][t]; }
+  int task_ext(std::size_t level, int t) const {
+    return ext_[dag_->ext_off(level) + t];
+  }
 
   /// Units with no unsatisfied external dependences, in unit order. The
   /// canonical on_start seed for unit-queue policies.
@@ -177,7 +193,13 @@ class SimCore {
   /// misses at level l) and the latency s(t)·Cl is spread uniformly over
   /// the task's units, the way the Eq. (22) bound assumes. This is the SB
   /// accounting; greedy and serial reuse it as their cache model.
-  std::vector<double> distributed_unit_durations() const;
+  ///
+  /// The table depends only on (dag, machine, opts.charge_misses), so it is
+  /// computed once and cached for as long as the core stays bound to that
+  /// triple — across reset()s, i.e. once per condensation×machine in a
+  /// sweep chunk instead of once per cell. The reference stays valid until
+  /// the next reset that changes the binding.
+  const std::vector<double>& distributed_unit_durations() const;
 
   /// Charges every maximal task's footprint once into stats().misses —
   /// the schedule-independent miss total matching
@@ -209,13 +231,9 @@ class SimCore {
   void init_run_state();
 
   bool is_control(VertexId v) const {
-    return dag_.decomposition(1).owner[dag_.graph().owner(v)] < 0;
+    return dag_->decomposition(1).owner[dag_->graph().owner(v)] < 0;
   }
 
-  /// Adjusts external-dependence counters for edge (v, w) at every level
-  /// where the endpoints lie in different maximal tasks; on decrement to
-  /// zero, notifies the policy.
-  void count_edge(VertexId v, VertexId w, int delta);
   void fire_vertex(VertexId v);
   void cascade_all();
   /// Runs unit `u`'s footprint through every cache above `proc` (level 1
@@ -226,23 +244,43 @@ class SimCore {
   void complete_unit(int u);
   void dispatch(double now);
 
+  // The event queue as an explicit vector-heap (std::push_heap/pop_heap
+  // with the same comparator std::priority_queue would use, so completion
+  // order is unchanged) — unlike priority_queue it can be cleared without
+  // giving its capacity back.
+  void push_event(const Ev& e);
+  Ev pop_event();
+
   std::unique_ptr<CondensedDag> owned_;  // only set by the building ctor
-  const CondensedDag& dag_;
-  const Pmh& m_;
-  const SchedOptions opts_;  // by value: a temporary argument must not dangle
+  const CondensedDag* dag_;
+  const Pmh* m_;
+  SchedOptions opts_;  // by value: a temporary argument must not dangle
   Scheduler* policy_ = nullptr;
   bool ready_hooks_enabled_ = false;
 
-  std::vector<std::vector<int>> ext_;  // ext_[l-1][task], from dag templates
-
+  // Per-run counter arenas, restored from the dag's flat templates on
+  // every reset (vector assigns — capacity survives).
+  std::vector<int> ext_;  // flat (level, task) arena, dag_->ext_off layout
   std::vector<char> fired_;
   std::vector<std::uint32_t> in_deg_;
-  std::vector<VertexId> cascade_;
 
-  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events_;
-  std::vector<std::size_t> idle_;
+  // Reused scratch: the control cascade, complete_unit's subtree walk and
+  // dispatch's idle filter all keep their high-water capacity.
+  std::vector<VertexId> cascade_;
+  std::vector<NodeId> walk_stack_, walk_order_;
+  std::vector<std::size_t> idle_, still_idle_;
+
+  std::vector<Ev> events_;  // min-heap on time
+
+  // Cached distributed-charge duration table; valid while the core stays
+  // bound to (dur_dag_, dur_machine_, dur_charge_).
+  mutable std::vector<double> dur_;
+  mutable const CondensedDag* dur_dag_ = nullptr;
+  mutable const Pmh* dur_machine_ = nullptr;
+  mutable bool dur_charge_ = true;
 
   std::unique_ptr<CacheOccupancy> occ_;  // only when opts.measure_misses
+  const Pmh* occ_machine_ = nullptr;     // machine occ_ was shaped for
 
   SchedStats stats_;
   double busy_time_ = 0.0;

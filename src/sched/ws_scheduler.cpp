@@ -89,13 +89,12 @@ class WsScheduler final : public Scheduler {
   /// returns the added latency.
   double touch_caches(std::size_t p, int u) {
     double lat = 0.0;
-    const NodeId root = core_->unit_root(u);
+    const CondensedDag& dag = core_->dag();
     for (std::size_t l = 1; l <= core_->num_levels(); ++l) {
-      const Decomposition& d = core_->decomposition(l);
-      const int t = d.owner[root];
+      const int t = dag.unit_task(l, u);
       if (resident_[p][l - 1] == t) continue;
       resident_[p][l - 1] = t;
-      const double s = core_->tree().size_of(d.maximal[t]);
+      const double s = dag.task_size(l, t);
       core_->stats().misses[l - 1] += s;
       if (opts_.charge_misses) lat += s * core_->machine().miss_cost(l);
     }

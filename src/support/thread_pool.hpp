@@ -17,6 +17,7 @@
 //     the drain), not a silent no-op.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -82,6 +83,32 @@ template <typename T>
 void wait_all(std::vector<std::future<T>>& futs) {
   for (auto& f : futs) f.wait();
   for (auto& f : futs) f.get();
+}
+
+/// Splits [0, n) into at most `chunks` contiguous ranges (sizes differing
+/// by at most one) and submits one pool task per range; `body(begin, end)`
+/// runs with begin < end. One task per *range* instead of per index is the
+/// point: anything the body hoists out of its index loop (a reused
+/// simulator core, scratch buffers) is amortized over the whole range.
+/// Ranges are dequeued FIFO, so passing more chunks than workers trades
+/// amortization span for dynamic load balance. Blocks until every range
+/// completed; failures rethrow in submission (= index) order, after all
+/// siblings finished with the caller's data (wait_all semantics).
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::size_t n, std::size_t chunks,
+                         Body&& body) {
+  if (n == 0) return;
+  chunks = std::min(std::max<std::size_t>(chunks, 1), n);
+  const std::size_t base = n / chunks, extra = n % chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    futs.push_back(pool.submit([begin, end, &body] { body(begin, end); }));
+    begin = end;
+  }
+  wait_all(futs);
 }
 
 }  // namespace ndf

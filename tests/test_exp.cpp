@@ -5,17 +5,22 @@
 //       per σ × cache profile (counter-verified) and its stats are
 //       bit-identical to fresh-build SimCore runs for all four policies
 //   X4  SimCore on a shared CondensedDag == SimCore building its own, bit
-//       for bit, and incompatible dag/machine/σ pairings are rejected
+//       for bit, and incompatible dag/machine/σ pairings are rejected;
+//       one reset()-reused core matches fresh cores across dags, machines
+//       and all four policies (occupancy layer included)
 //   X5  the repeat axis varies only the seed, deterministically
 //   X6  the consolidated JSON/CSV emitters produce well-formed output
 //   X7  the parallel engine: a mid-size grid at --jobs=1/2/8 produces
-//       byte-identical table/JSON/CSV output and the same condensation
-//       count, and the condensation plan matches the serial cache walk
+//       byte-identical table/JSON/CSV output (with and without measured
+//       misses) and the same condensation count, the condensation plan
+//       matches the serial cache walk, and phase times account for the run
 //   X8  parallel failures surface as the same loud CheckErrors serial ones
-//       do, without poisoning the Sweep into a fake empty success
+//       do, without poisoning the Sweep into a fake empty success — a
+//       failed run reports zero condensations and retries from scratch
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "exp/report.hpp"
@@ -41,6 +46,11 @@ void expect_stats_bit_identical(const SchedStats& a, const SchedStats& b,
   ASSERT_EQ(a.misses.size(), b.misses.size()) << who;
   for (std::size_t l = 0; l < a.misses.size(); ++l)
     EXPECT_DOUBLE_EQ(a.misses[l], b.misses[l]) << who << " L" << (l + 1);
+  EXPECT_DOUBLE_EQ(a.comm_cost, b.comm_cost) << who;
+  ASSERT_EQ(a.measured_misses.size(), b.measured_misses.size()) << who;
+  for (std::size_t l = 0; l < a.measured_misses.size(); ++l)
+    EXPECT_DOUBLE_EQ(a.measured_misses[l], b.measured_misses[l])
+        << who << " measured L" << (l + 1);
 }
 
 TEST(Workload, ParseSpecDefaultsAndRoundTrip) {  // X1
@@ -291,6 +301,54 @@ TEST(CondensedDag, SharedDagMatchesOwnedBitIdentically) {  // X4
   EXPECT_TRUE(dag.compatible_with(m, o.sigma));
 }
 
+TEST(SimCore, ResetReusedCoreMatchesFreshAcrossPolicies) {  // X4
+  // One core cycled through reset() across dags, machines, σ values and
+  // all four policies (with the occupancy layer on, so its reuse path is
+  // covered too) must match a freshly constructed core bit for bit — the
+  // invariant that lets sweep chunks reuse one core per worker.
+  exp::Workload mm(exp::parse_workload("mm:n=16"));
+  exp::Workload trs(exp::parse_workload("trs:n=16"));
+  const Pmh deep = make_pmh("deep2x4");
+  const Pmh flat = make_pmh("flat8");
+  SchedOptions third;
+  SchedOptions half;
+  half.sigma = 0.5;
+  half.measure_misses = true;
+  struct Binding {
+    const exp::Workload* w;
+    const Pmh* m;
+    SchedOptions o;
+  };
+  const Binding bindings[] = {{&mm, &deep, third},
+                              {&mm, &deep, half},
+                              {&trs, &flat, third},
+                              {&mm, &flat, half},
+                              {&trs, &deep, third}};
+
+  std::vector<std::unique_ptr<CondensedDag>> dags;
+  std::unique_ptr<SimCore> reused;
+  for (const Binding& bind : bindings) {
+    dags.push_back(std::make_unique<CondensedDag>(
+        bind.w->graph(), level_cache_sizes(*bind.m), bind.o.sigma));
+    const CondensedDag& dag = *dags.back();
+    for (const char* name : kAllPolicies) {
+      SchedOptions o = bind.o;
+      o.seed = 7;  // exercise a non-default ws seed through reset too
+      if (reused)
+        reused->reset(dag, *bind.m, o);
+      else
+        reused = std::make_unique<SimCore>(dag, *bind.m, o);
+      const auto pol_a = make_scheduler(name, o);
+      const SchedStats a = reused->run(*pol_a);
+      SimCore fresh(dag, *bind.m, o);
+      const auto pol_b = make_scheduler(name, o);
+      expect_stats_bit_identical(a, fresh.run(*pol_b), name);
+    }
+  }
+  // reset() re-checks compatibility like the constructor does.
+  EXPECT_THROW(reused->reset(*dags.front(), flat, third), CheckError);
+}
+
 TEST(Sweep, RepeatAxisVariesSeedDeterministically) {  // X5
   exp::Scenario s;
   s.workloads = exp::parse_workload_list("mm:n=32");
@@ -339,6 +397,39 @@ TEST(Sweep, ParallelOutputIsByteIdenticalToSerial) {  // X7
     EXPECT_EQ(parallel.condensations_built(), serial.condensations_built())
         << jobs << " jobs";
     EXPECT_EQ(emit_everything(runs), golden) << jobs << " jobs";
+  }
+}
+
+TEST(Sweep, ParallelOutputIsByteIdenticalToSerialWithMisses) {  // X7
+  // Same identity, with the measured LRU occupancy layer on: the extra
+  // comm_cost / Q_L<i> columns ride through the chunked dispatch (and the
+  // reused cores' occupancy reset) byte-identically too.
+  exp::Scenario s = small_scenario();
+  s.measure_misses = true;
+  s.policies = {"sb", "ws", "greedy", "serial"};
+
+  exp::Sweep serial(s, 1);
+  const std::string golden = emit_everything(serial.run());
+
+  for (const std::size_t jobs : {2u, 8u}) {
+    exp::Sweep parallel(s, jobs);
+    const auto& runs = parallel.run();
+    ASSERT_EQ(runs.size(), serial.results().size()) << jobs << " jobs";
+    EXPECT_EQ(emit_everything(runs), golden) << jobs << " jobs";
+  }
+}
+
+TEST(Sweep, PhaseTimesAccountForACompletedRun) {  // X7
+  const exp::Scenario s = small_scenario();
+  for (const std::size_t jobs : {1u, 4u}) {
+    exp::Sweep sweep(s, jobs);
+    EXPECT_EQ(sweep.phase_times().cell_execution, 0.0) << jobs << " jobs";
+    sweep.run();
+    const exp::PhaseTimes& pt = sweep.phase_times();
+    EXPECT_GE(pt.workload_build, 0.0) << jobs << " jobs";
+    EXPECT_GE(pt.condensation, 0.0) << jobs << " jobs";
+    // 96 simulated cells cannot take literally zero wall-clock.
+    EXPECT_GT(pt.cell_execution, 0.0) << jobs << " jobs";
   }
 }
 
@@ -404,8 +495,21 @@ TEST(Sweep, WorkerFailureSurfacesLoudlyAndDoesNotPoison) {  // X8
               std::string::npos)
         << e.what();
   }
+  // A failed run leaves the object fully reset — in particular the
+  // condensation count must not be left at the plan size with no results
+  // behind it — and a retry starts from scratch: it throws the same way
+  // instead of returning a fake empty success.
+  EXPECT_EQ(sweep.condensations_built(), 0u);
   EXPECT_THROW(sweep.run(), CheckError);  // still throws, no silent empty
   EXPECT_TRUE(sweep.results().empty());
+  EXPECT_EQ(sweep.condensations_built(), 0u);
+
+  // Same failure on the serial path: identical post-throw state.
+  exp::Sweep serial(s, 1);
+  EXPECT_THROW(serial.run(), CheckError);
+  EXPECT_THROW(serial.run(), CheckError);
+  EXPECT_TRUE(serial.results().empty());
+  EXPECT_EQ(serial.condensations_built(), 0u);
 }
 
 TEST(Report, EmittersProduceWellFormedOutput) {  // X6

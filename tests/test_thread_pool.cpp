@@ -5,6 +5,9 @@
 //       does not poison the pool or unwind a worker
 //   P4  destruction drains the queue — every queued task runs exactly once
 //   P5  many tasks across many workers all run exactly once (wait_all)
+//   P6  parallel_for_chunks partitions [0, n) into contiguous ranges that
+//       cover every index exactly once, clamps chunk counts, and rethrows
+//       a chunk's failure after the others finished
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -83,6 +86,48 @@ TEST(ThreadPool, DestructionDrainsQueuedTasks) {  // P4
       });
   }
   EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForChunksCoversEveryIndexOnce) {  // P6
+  ThreadPool pool(4);
+  for (const std::size_t n : {1u, 7u, 100u, 1000u}) {
+    for (const std::size_t chunks : {1u, 3u, 16u, 2000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      std::atomic<std::size_t> ranges{0};
+      parallel_for_chunks(pool, n, chunks,
+                          [&](std::size_t b, std::size_t e) {
+                            EXPECT_LT(b, e);
+                            ranges.fetch_add(1, std::memory_order_relaxed);
+                            for (std::size_t i = b; i < e; ++i)
+                              hits[i].fetch_add(1, std::memory_order_relaxed);
+                          });
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " chunks=" << chunks
+                                     << " i=" << i;
+      // Chunk counts are clamped to [1, n], never oversplit into empties.
+      EXPECT_EQ(ranges.load(), std::min(std::max<std::size_t>(chunks, 1), n));
+    }
+  }
+  // n == 0 is a no-op, not a division by zero.
+  parallel_for_chunks(pool, 0, 4, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForChunksRethrowsAfterSiblingsFinish) {  // P6
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    parallel_for_chunks(pool, 100, 10, [&](std::size_t b, std::size_t) {
+      if (b == 0) throw std::runtime_error("chunk zero failed");
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the chunk's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk zero failed");
+  }
+  // wait_all semantics: every sibling chunk ran to completion before the
+  // rethrow handed control back.
+  EXPECT_EQ(completed.load(), 9);
 }
 
 TEST(ThreadPool, ManyTasksAcrossManyWorkersRunExactlyOnce) {  // P5
