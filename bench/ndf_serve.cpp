@@ -1,0 +1,180 @@
+// ndf_serve — the open-arrivals service-mode driver. One binary admits a
+// stream of DAG jobs (a trace file or a seeded arrival distribution) onto
+// each machine × σ × policy cell, runs the full multi-tenant service
+// simulation (src/serve/), and emits one consolidated summary table /
+// JSON / CSV. Deadline-aware policies (`edf`) admit queued jobs earliest-
+// deadline-first; everything else admits in arrival order.
+//
+//   ndf_serve --arrivals='poisson:rate=0.001,jobs=40,tenants=4' \
+//             --workloads='mm:n=32;gen:family=sp,depth=6,fan=3,seed=7' \
+//             --machines=flat16 --sched=sb,edf --json=BENCH_serve.json
+//   ndf_serve --trace=jobs.trace --machines=deep2x4 --sched=edf
+//
+// Flags:
+//   --trace=<path>               job stream from a trace file, one job per
+//                                line: <arrival> <tenant> <workload-spec>
+//                                [deadline=<t>] (src/serve/arrivals.hpp)
+//   --arrivals=<spec>            generated stream instead of a trace:
+//                                poisson:rate=,jobs=[,tenants=][,deadline=]
+//                                [,seed=] (open) or closed:clients=,jobs=
+//                                [,think=][,deadline=] (closed loop); the
+//                                workload mix comes from --workloads
+//   --workloads=<spec;spec;...>  workload mix for --arrivals (dealt
+//                                round-robin); ignored with --trace
+//   --machines=<spec;spec;...>   see src/pmh/presets.hpp
+//   --sched=<name,name,...>      registry policies (default sb,edf)
+//   --sigma=<x,x,...>            dilation values in (0,1), default 1/3
+//   --alpha=<x>                  SB allocation exponent, default 1.0
+//   --seed=<s>                   base seed; job i runs with seed s+i
+//   --jobs=<n>                   cell workers: 0 = hardware concurrency
+//                                (default); output is byte-identical at
+//                                every n
+//   --misses                     simulate LRU occupancy persistently across
+//                                jobs and attribute per-job/per-tenant
+//                                measured Q_i (docs/metrics.md)
+//   --json=<path> --csv=<path>   consolidated emitters
+//   --name=<id>                  run id in the outputs
+//   --smoke                      small fixed scenario for CI (fast)
+//   --soak                       larger fixed grid (nightly CI): a
+//                                multi-tenant poisson burst across two
+//                                machines, all admission policies
+//   --list                       print workloads/machines/policies and exit
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "pmh/presets.hpp"
+#include "sched/registry.hpp"
+#include "serve/engine.hpp"
+#include "serve/report.hpp"
+
+using namespace ndf;
+
+namespace {
+
+void list_everything() {
+  std::cout << "workloads (--workloads=<name>[:n=,base=,np][;...]):\n";
+  for (const auto& w : exp::registered_workloads())
+    std::cout << "  " << w.name << " — " << w.description
+              << " (default n=" << w.default_n << ")\n";
+  std::cout << "\nmachine presets (--machines=<preset or "
+               "flat:p=,m1=,c1= / twotier:s=,c=,m1=,m2=,c1=,c2=>[;...]):\n";
+  for (const auto& m : pmh_presets())
+    std::cout << "  " << m.name << " — " << m.description << "\n";
+  std::cout << "\npolicies (--sched=<name,...>; deadline-aware ones admit "
+               "EDF-over-jobs):\n";
+  for (const auto& p : registered_schedulers())
+    std::cout << "  " << p.name << (p.deadline_aware ? " [deadline-aware]" : "")
+              << " — " << p.description << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  bench::reject_unknown_flags(
+      args,
+      {"trace", "arrivals", "workloads", "machines", "sched", "sigma",
+       "alpha", "seed", "jobs", "misses", "json", "csv", "name", "smoke",
+       "soak", "list"},
+      "see the header of ndf_serve.cpp or --list");
+  if (args.get("list", false)) {
+    list_everything();
+    return 0;
+  }
+
+  serve::ServeScenario s;
+  const bool smoke = args.get("smoke", false);
+  const bool soak = args.get("soak", false);
+  NDF_CHECK_MSG(!(smoke && soak), "--smoke and --soak are exclusive");
+  std::string arrivals_spec;
+  if (smoke) {
+    // Small fixed scenario CI can afford on every push: 24 poisson jobs
+    // from 3 tenants over a 3-workload mix, one machine, FIFO vs EDF.
+    s.name = "serve-smoke";
+    arrivals_spec = "poisson:rate=0.00003,jobs=24,tenants=3,deadline=60000";
+    s.mix = exp::parse_workload_list(
+        "mm:n=32;gen:family=sp,depth=6,fan=3,seed=7;lcs:n=96");
+    s.machines = {"flat:p=8,m1=192,c1=10"};
+    s.policies = {"sb", "edf"};
+  }
+  if (soak) {
+    // Nightly grid: a long multi-tenant burst with deadlines across two
+    // machine shapes and every admission discipline — 2 machines × 2 σ ×
+    // 4 policies = 16 cells of 360 heavyweight jobs each, sized so the
+    // serial run takes whole seconds (the serve gate times it; a grid that
+    // finishes in milliseconds measures thread startup, not the engine).
+    s.name = "serve-soak";
+    arrivals_spec =
+        "poisson:rate=0.002,jobs=360,tenants=6,deadline=9000,seed=17";
+    s.mix = exp::parse_workload_list(
+        "mm:n=48;trs:n=48,np;gen:family=sp,depth=9,fan=4,work=32,cross=60,"
+        "seed=11;gen:family=wavefront,n=48;gen:family=forkjoin,depth=48,"
+        "fan=24");
+    s.machines = {"flat16", "deep2x4"};
+    s.policies = {"sb", "ws", "greedy", "edf"};
+    s.sigmas = {1.0 / 3.0, 0.5};
+  }
+
+  s.name = args.get("name", s.name);
+  if (args.has("workloads"))
+    s.mix = exp::parse_workload_list(args.get("workloads", std::string()));
+  if (args.has("machines"))
+    s.machines = bench::split_specs(args.get("machines", std::string()));
+  if (args.has("sched") || (!smoke && !soak))
+    s.policies = parse_sched_list(args.get("sched", std::string("sb,edf")));
+  if (args.has("sigma"))
+    s.sigmas =
+        bench::parse_double_list(args.get("sigma", std::string()), "sigma");
+  s.alpha_prime = args.get("alpha", 1.0);
+  s.base_seed = std::uint64_t(args.get("seed", 42LL));
+  s.measure_misses = bench::misses_flag(args);
+  const std::size_t jobs = bench::jobs_flag(args);
+
+  const std::string trace = args.get("trace", std::string());
+  if (args.has("arrivals")) arrivals_spec = args.get("arrivals", std::string());
+  NDF_CHECK_MSG(trace.empty() || arrivals_spec.empty(),
+                "--trace and --arrivals are exclusive: the stream is either "
+                "explicit or generated");
+  NDF_CHECK_MSG(!trace.empty() || !arrivals_spec.empty(),
+                "no job stream — pass --trace=<file>, --arrivals=<spec>, or "
+                "--smoke (--list shows workloads/machines/policies)");
+  if (!trace.empty()) {
+    s.jobs = serve::load_trace(trace);
+  } else {
+    const serve::ArrivalSpec a = serve::parse_arrivals(arrivals_spec);
+    if (a.kind == "closed")
+      s.closed = a;  // the engine generates closed-loop arrivals
+    else
+      s.jobs = serve::expand_open_arrivals(a, s.mix);
+  }
+  NDF_CHECK_MSG(!s.machines.empty(),
+                "no machines — pass --machines=... or --smoke "
+                "(--list shows what exists)");
+
+  serve::ServeSweep sweep(std::move(s), jobs);
+  const auto& cells = sweep.run();
+
+  std::size_t total_jobs = 0;
+  for (const auto& c : cells) total_jobs += c.jobs.size();
+  std::ostringstream title;
+  title << "serve '" << sweep.scenario().name << "': " << cells.size()
+        << " cells, " << total_jobs << " jobs served, "
+        << sweep.condensations_built() << " condensations built";
+  serve::summary_table(title.str(), cells).print(std::cout);
+
+  const std::string json = args.get("json", std::string());
+  if (!json.empty()) {
+    std::ofstream os(json);
+    NDF_CHECK_MSG(bool(os), "cannot write --json=" << json);
+    serve::write_serve_json(os, sweep.scenario().name, cells);
+  }
+  const std::string csv = args.get("csv", std::string());
+  if (!csv.empty()) {
+    std::ofstream os(csv);
+    NDF_CHECK_MSG(bool(os), "cannot write --csv=" << csv);
+    serve::write_serve_csv(os, cells);
+  }
+  return 0;
+}

@@ -26,6 +26,17 @@ set -euo pipefail
 
 BUILD_DIR=${1:?usage: ci_perf_gate.sh <build-dir> [jobs]}
 JOBS=${2:-4}
+
+# Fail with a diagnosis, not a bash "No such file or directory", when the
+# gate is pointed at a directory that was never built (or a Debug tree
+# missing the bench targets).
+for bin in ndf_sweep bench_cache_miss; do
+  if [[ ! -x "$BUILD_DIR/$bin" ]]; then
+    echo "FAIL: $BUILD_DIR/$bin not found or not executable —" \
+         "build it first: cmake --build $BUILD_DIR --target $bin" >&2
+    exit 1
+  fi
+done
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.5}
 # Trimmed repeat axis for the stress grid (CI uses the default; a local run
 # can crank it: STRESS_REPEAT=7 is the binary's own default grid).
@@ -48,7 +59,9 @@ run_grid() { # <jobs> <prefix> [extra sweep args...]
 }
 
 # Best-of-3 wall-clock + peak-RSS of one grid at one jobs value; appends a
-# "<label> <jobs> <best_wall_s> <peak_rss_kb>" line to $OUT/timings.txt.
+# "<label> <jobs> <t1,t2,t3> <peak_rss_kb>" line to $OUT/timings.txt — the
+# raw per-run timings, not just the minimum, so the uploaded artifact shows
+# how noisy the runner was when a regression is being judged.
 # getrusage(RUSAGE_CHILDREN) is cumulative, so ru_maxrss after the runs is
 # the max over them — exactly the peak we want to record.
 time_grid() { # <jobs> <prefix> <label> [sweep args...]
@@ -61,15 +74,15 @@ import resource, subprocess, sys, time
 label, jobs, log = sys.argv[1:4]
 cmd = sys.argv[4:]
 prefix = next(a.split("=", 1)[1] for a in cmd if a.startswith("--json="))
-best = float("inf")
+runs = []
 for _ in range(3):
     with open(prefix.rsplit(".", 1)[0] + ".txt", "w") as out:
         t0 = time.monotonic()
         subprocess.run(cmd, stdout=out, check=True)
-        best = min(best, time.monotonic() - t0)
+        runs.append(time.monotonic() - t0)
 rss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
 with open(log, "a") as f:
-    f.write(f"{label} {jobs} {best:.4f} {rss_kb}\n")
+    f.write(f"{label} {jobs} {','.join(f'{t:.4f}' for t in runs)} {rss_kb}\n")
 EOF
 }
 
@@ -126,10 +139,14 @@ import json, os, sys
 log, jobs, min_speedup, stress_repeat, path = sys.argv[1:6]
 grids = {}
 for line in open(log):
-    label, j, wall, rss = line.split()
+    label, j, walls, rss = line.split()
     key = "serial" if int(j) == 1 else "parallel"
     g = grids.setdefault(label, {})
-    g[f"{key}_wall_s"] = round(float(wall), 4)
+    runs = [round(float(w), 4) for w in walls.split(",")]
+    # Raw per-run wall clocks next to the best-of: the artifact must show
+    # the runner's noise, not hide it behind the minimum.
+    g[f"{key}_wall_runs_s"] = runs
+    g[f"{key}_wall_s"] = min(runs)
     g[f"{key}_peak_rss_kb"] = int(rss)
 for g in grids.values():
     g["speedup"] = round(g["serial_wall_s"] / g["parallel_wall_s"], 3) \
@@ -138,8 +155,8 @@ doc = {
     "bench": "sweep_parallel",
     "jobs": int(jobs),
     "min_speedup": float(min_speedup),
-    "timing": "best of 3 runs per grid; peak RSS via "
-              "getrusage(RUSAGE_CHILDREN)",
+    "timing": "best of 3 runs per grid (raw per-run walls in "
+              "*_wall_runs_s); peak RSS via getrusage(RUSAGE_CHILDREN)",
     "gate": {
         "grid": "perf-gate (mm:n=128;lcs:n=1024;cholesky:n=128 + 2 "
                 "generated workloads x 2 machines x 4 policies x "

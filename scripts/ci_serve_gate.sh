@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Determinism + perf gate for the open-arrivals service mode (src/serve/).
+#
+# Runs the ndf_serve --soak grid (multi-tenant poisson burst, two machines,
+# every admission policy) through the engine at --jobs=1 and --jobs=N and:
+#   1. FAILS if any output (stdout table, JSON, CSV) differs byte-for-byte
+#      between the two, with and without --misses: cell-level parallelism
+#      must be unobservable in results, measured per-job Q_i included.
+#   2. FAILS if a rerun at the same seed is not byte-identical: a service
+#      simulation is a pure function of (stream, seed).
+#   3. Records best-of-3 wall-clock (raw per-run timings included) and peak
+#      RSS for both jobs values into BENCH_serve.json — the service-mode
+#      trajectory artifact nightly CI uploads.
+#
+# Like ci_perf_gate.sh: the minimum of 3 runs is the wall-clock estimator,
+# RSS comes from getrusage(RUSAGE_CHILDREN), and a speedup below
+# MIN_SPEEDUP only warns unless PERF_GATE_STRICT=1 (nightly sets it).
+#
+# Usage: scripts/ci_serve_gate.sh <build-dir> [jobs]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: ci_serve_gate.sh <build-dir> [jobs]}
+JOBS=${2:-4}
+MIN_SPEEDUP=${MIN_SPEEDUP:-1.5}
+OUT="$BUILD_DIR/serve-gate"
+mkdir -p "$OUT"
+
+if [[ ! -x "$BUILD_DIR/ndf_serve" ]]; then
+  echo "FAIL: $BUILD_DIR/ndf_serve not found or not executable —" \
+       "build it first: cmake --build $BUILD_DIR --target ndf_serve" >&2
+  exit 1
+fi
+
+run_soak() { # <jobs> <prefix> [extra serve args...]
+  local jobs=$1 prefix=$2
+  shift 2
+  "$BUILD_DIR/ndf_serve" --soak "$@" --jobs="$jobs" \
+      --json="$OUT/$prefix.json" --csv="$OUT/$prefix.csv" \
+      > "$OUT/$prefix.txt"
+}
+
+check_identical() { # <prefix-a> <prefix-b> <label>
+  local a=$1 b=$2 label=$3 ext
+  for ext in txt json csv; do
+    if ! cmp -s "$OUT/$a.$ext" "$OUT/$b.$ext"; then
+      echo "FAIL: $label: .$ext output differs:" >&2
+      diff "$OUT/$a.$ext" "$OUT/$b.$ext" | head -20 >&2
+      exit 1
+    fi
+  done
+  echo "OK: $label byte-identical"
+}
+
+# --- determinism gates ---------------------------------------------------
+run_soak 1 soak-serial
+run_soak "$JOBS" soak-parallel
+check_identical soak-serial soak-parallel \
+    "soak grid at --jobs=1 vs --jobs=$JOBS"
+
+run_soak "$JOBS" soak-rerun
+check_identical soak-parallel soak-rerun "soak grid rerun (same seed)"
+
+run_soak 1 soak-misses-serial --misses
+run_soak "$JOBS" soak-misses-parallel --misses
+check_identical soak-misses-serial soak-misses-parallel \
+    "soak grid with --misses at --jobs=1 vs --jobs=$JOBS"
+
+# --- best-of-3 timing + RSS into the trajectory artifact -----------------
+: > "$OUT/timings.txt"
+for jobs in 1 "$JOBS"; do
+  python3 - "$jobs" "$OUT/timings.txt" \
+      "$BUILD_DIR/ndf_serve" --soak --jobs="$jobs" \
+      --json="$OUT/timed.json" --csv="$OUT/timed.csv" <<'EOF'
+import resource, subprocess, sys, time
+jobs, log = sys.argv[1:3]
+cmd = sys.argv[3:]
+runs = []
+for _ in range(3):
+    with open("/dev/null", "w") as out:
+        t0 = time.monotonic()
+        subprocess.run(cmd, stdout=out, check=True)
+        runs.append(time.monotonic() - t0)
+rss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+with open(log, "a") as f:
+    f.write(f"{jobs} {','.join(f'{t:.4f}' for t in runs)} {rss_kb}\n")
+EOF
+done
+
+python3 - "$OUT/timings.txt" "$JOBS" "$MIN_SPEEDUP" \
+    "$BUILD_DIR/BENCH_serve.json" <<'EOF'
+import json, os, sys
+log, jobs, min_speedup, path = sys.argv[1:5]
+doc = {
+    "bench": "serve_soak",
+    "jobs": int(jobs),
+    "min_speedup": float(min_speedup),
+    "grid": "ndf_serve --soak (360 poisson jobs, 6 tenants, deadlines; "
+            "2 machines x 2 sigma x 4 policies = 16 cells)",
+    "timing": "best of 3 runs (raw per-run walls in *_wall_runs_s); "
+              "peak RSS via getrusage(RUSAGE_CHILDREN)",
+}
+for line in open(log):
+    j, walls, rss = line.split()
+    key = "serial" if int(j) == 1 else "parallel"
+    runs = [round(float(w), 4) for w in walls.split(",")]
+    doc[f"{key}_wall_runs_s"] = runs
+    doc[f"{key}_wall_s"] = min(runs)
+    doc[f"{key}_peak_rss_kb"] = int(rss)
+doc["speedup"] = round(doc["serial_wall_s"] / doc["parallel_wall_s"], 3) \
+    if doc["parallel_wall_s"] > 0 else float("inf")
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"serve soak: serial {doc['serial_wall_s']:.3f}s, parallel({jobs}) "
+      f"{doc['parallel_wall_s']:.3f}s, speedup {doc['speedup']:.2f}x "
+      f"(target > {min_speedup}x), peak RSS {doc['parallel_peak_rss_kb']} KB")
+if doc["speedup"] < float(min_speedup):
+    msg = (f"serve soak speedup {doc['speedup']:.2f}x below target "
+           f"{min_speedup}x")
+    if os.environ.get("PERF_GATE_STRICT") == "1":
+        sys.exit(f"FAIL: {msg}")
+    print(f"WARN: {msg} (non-fatal; PERF_GATE_STRICT=1 to enforce)")
+EOF

@@ -28,6 +28,10 @@ std::size_t max_measured_levels(const std::vector<RunPoint>& runs) {
   return L;
 }
 
+}  // namespace
+
+namespace detail {
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -68,6 +72,12 @@ std::string csv_field(const std::string& s) {
   return out;
 }
 
+}  // namespace detail
+
+namespace {
+using detail::csv_field;
+using detail::json_escape;
+using detail::write_number;
 }  // namespace
 
 Table results_table(const std::string& title,

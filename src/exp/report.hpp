@@ -31,4 +31,21 @@ void write_sweep_json(std::ostream& os, const std::string& name,
 /// with `comm_cost`/`q_l<i>` columns appended exactly when measured.
 void write_sweep_csv(std::ostream& os, const std::vector<RunPoint>& runs);
 
+// Shared emitter plumbing, reused by the service-mode emitters
+// (src/serve/report.cpp) so every JSON/CSV artifact escapes and formats
+// identically.
+namespace detail {
+
+/// Escapes quotes, backslashes and control characters for a JSON string.
+std::string json_escape(const std::string& s);
+
+/// Writes a round-trippable double; non-finite values become null (JSON
+/// has no inf/nan).
+void write_number(std::ostream& os, double d);
+
+/// RFC-4180 quoting — specs contain commas ("flat:p=8,m1=192").
+std::string csv_field(const std::string& s);
+
+}  // namespace detail
+
 }  // namespace ndf::exp

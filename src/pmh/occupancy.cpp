@@ -32,7 +32,7 @@ CacheOccupancy::Cache& CacheOccupancy::at(std::size_t level,
   return caches_[level - 1][cache];
 }
 
-CacheOccupancy::Entry* CacheOccupancy::find(Cache& c, int task) {
+CacheOccupancy::Entry* CacheOccupancy::find(Cache& c, std::int64_t task) {
   for (Entry& e : c.entries)
     if (e.task == task) return &e;
   return nullptr;
@@ -54,8 +54,8 @@ void CacheOccupancy::make_room(Cache& c, double capacity, double incoming) {
   }
 }
 
-double CacheOccupancy::touch(std::size_t level, std::size_t cache, int task,
-                             double size) {
+double CacheOccupancy::touch(std::size_t level, std::size_t cache,
+                             std::int64_t task, double size) {
   Cache& c = at(level, cache);
   Entry* e = find(c, task);
   if (e && e->resident) {
@@ -75,7 +75,7 @@ double CacheOccupancy::touch(std::size_t level, std::size_t cache, int task,
   return size;
 }
 
-void CacheOccupancy::pin(std::size_t level, std::size_t cache, int task,
+void CacheOccupancy::pin(std::size_t level, std::size_t cache, std::int64_t task,
                          double size) {
   Cache& c = at(level, cache);
   if (Entry* e = find(c, task)) {
@@ -89,7 +89,8 @@ void CacheOccupancy::pin(std::size_t level, std::size_t cache, int task,
   c.used += size;
 }
 
-void CacheOccupancy::unpin(std::size_t level, std::size_t cache, int task) {
+void CacheOccupancy::unpin(std::size_t level, std::size_t cache,
+                           std::int64_t task) {
   Cache& c = at(level, cache);
   for (std::size_t i = 0; i < c.entries.size(); ++i) {
     Entry& e = c.entries[i];

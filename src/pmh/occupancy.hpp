@@ -23,6 +23,12 @@
 // scans are in stable entry order, and the layer is driven only from the
 // (deterministic) simulation event loop — so measured counters are
 // bit-identical across runs, processes and sweep `--jobs` values.
+//
+// Footprint keys are 64-bit so a caller multiplexing several DAGs through
+// one machine (the service mode, src/serve/) can namespace each job's
+// decomposition indices into a disjoint key range: distinct tenants' data
+// never false-hit each other, while repeat jobs over the same tenant's
+// data reuse the same keys and can hit warm lines left by earlier jobs.
 #pragma once
 
 #include <cstdint>
@@ -47,17 +53,19 @@ class CacheOccupancy {
   /// recency and returns 0; a miss loads the footprint (evicting unpinned
   /// LRU entries down to capacity), adds `size` to the level's miss total,
   /// and returns `size`.
-  double touch(std::size_t level, std::size_t cache, int task, double size);
+  double touch(std::size_t level, std::size_t cache, std::int64_t task,
+               double size);
 
   /// Reserves capacity for `task` in `cache` and protects it from
   /// eviction. Reservation does not count misses — the load is counted by
   /// the first touch(), so a pinned-but-never-run footprint costs nothing.
-  void pin(std::size_t level, std::size_t cache, int task, double size);
+  void pin(std::size_t level, std::size_t cache, std::int64_t task,
+           double size);
 
   /// Drops the reservation. A resident footprint stays as a normal LRU
   /// entry (stale data lingers until evicted); a never-loaded one frees
   /// its reserved capacity immediately.
-  void unpin(std::size_t level, std::size_t cache, int task);
+  void unpin(std::size_t level, std::size_t cache, std::int64_t task);
 
   /// Measured level-`level` misses so far, summed over the level's caches
   /// (the Q_i that Theorem 1 bounds by Q*(t; σMl)).
@@ -68,7 +76,7 @@ class CacheOccupancy {
 
  private:
   struct Entry {
-    int task = -1;
+    std::int64_t task = -1;
     double size = 0.0;
     bool resident = false;  ///< footprint loaded (occupies *and* counted)
     bool pinned = false;    ///< reserved by an anchored task: not evictable
@@ -80,7 +88,7 @@ class CacheOccupancy {
   };
 
   Cache& at(std::size_t level, std::size_t cache);
-  Entry* find(Cache& c, int task);
+  Entry* find(Cache& c, std::int64_t task);
   /// Evicts unpinned entries, least recent first, until `c.used + incoming`
   /// fits in `capacity` (or only pinned entries remain).
   void make_room(Cache& c, double capacity, double incoming);

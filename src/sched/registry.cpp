@@ -14,6 +14,7 @@ void register_sb_scheduler();
 void register_ws_scheduler();
 void register_greedy_scheduler();
 void register_serial_scheduler();
+void register_edf_scheduler();
 }  // namespace detail
 
 namespace {
@@ -21,6 +22,7 @@ namespace {
 struct Entry {
   std::string description;
   SchedulerFactory factory;
+  bool deadline_aware = false;
 };
 
 std::map<std::string, Entry>& table() {
@@ -34,6 +36,7 @@ void ensure_builtins() {
     detail::register_ws_scheduler();
     detail::register_greedy_scheduler();
     detail::register_serial_scheduler();
+    detail::register_edf_scheduler();
     return true;
   }();
   (void)once;
@@ -56,9 +59,12 @@ std::string known_names() {
 
 bool register_scheduler(const std::string& name,
                         const std::string& description,
-                        SchedulerFactory factory) {
+                        SchedulerFactory factory,
+                        bool deadline_aware) {
   NDF_CHECK_MSG(!name.empty() && factory, "bad scheduler registration");
-  return table().emplace(name, Entry{description, std::move(factory)}).second;
+  return table()
+      .emplace(name, Entry{description, std::move(factory), deadline_aware})
+      .second;
 }
 
 bool scheduler_registered(const std::string& name) {
@@ -66,11 +72,20 @@ bool scheduler_registered(const std::string& name) {
   return table().count(name) > 0;
 }
 
+bool scheduler_deadline_aware(const std::string& name) {
+  ensure_builtins();
+  const auto it = table().find(name);
+  NDF_CHECK_MSG(it != table().end(), "unknown scheduler '"
+                                         << name << "' (registered: "
+                                         << known_names() << ")");
+  return it->second.deadline_aware;
+}
+
 std::vector<SchedulerInfo> registered_schedulers() {
   ensure_builtins();
   std::vector<SchedulerInfo> out;
   for (const auto& [name, entry] : table())
-    out.push_back({name, entry.description});
+    out.push_back({name, entry.description, entry.deadline_aware});
   return out;  // std::map iterates sorted by name
 }
 

@@ -21,15 +21,26 @@ using SchedulerFactory =
 struct SchedulerInfo {
   std::string name;
   std::string description;
+  /// Deadline-aware policies get EDF-over-jobs admission in the service
+  /// mode (src/serve/): queued jobs are admitted earliest-absolute-deadline
+  /// first instead of in arrival order. Batch (single-DAG) behavior is
+  /// whatever the policy's unit-level discipline is.
+  bool deadline_aware = false;
 };
 
 /// Registers a policy factory. Returns false (and keeps the existing entry)
-/// if the name is taken.
+/// if the name is taken. `deadline_aware` marks the policy for EDF-over-jobs
+/// admission in service mode (see SchedulerInfo).
 bool register_scheduler(const std::string& name,
                         const std::string& description,
-                        SchedulerFactory factory);
+                        SchedulerFactory factory,
+                        bool deadline_aware = false);
 
 bool scheduler_registered(const std::string& name);
+
+/// True when the named, registered policy asked for deadline-aware (EDF)
+/// job admission in service mode. Throws CheckError on unknown names.
+bool scheduler_deadline_aware(const std::string& name);
 
 /// All registered policies, sorted by name.
 std::vector<SchedulerInfo> registered_schedulers();

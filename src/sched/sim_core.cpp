@@ -64,8 +64,11 @@ void SimCore::init_run_state() {
   if (opts_.measure_misses) {
     // The occupancy layer's shape depends only on the machine: reuse the
     // existing instance (cleared, capacity kept) while the binding holds.
+    // Service mode additionally keeps the *contents* across runs
+    // (keep_occupancy): consecutive jobs on one machine then contend for
+    // the same simulated lines, and the reported counters are cumulative.
     if (occ_ && occ_machine_ == m_) {
-      occ_->reset();
+      if (!opts_.keep_occupancy) occ_->reset();
     } else {
       occ_ = std::make_unique<CacheOccupancy>(*m_);
       occ_machine_ = m_;
@@ -78,18 +81,20 @@ void SimCore::init_run_state() {
 
 void SimCore::pin_footprint(std::size_t level, std::size_t cache, int task) {
   if (!occ_) return;
-  occ_->pin(level, cache, task, dag_->task_size(level, task));
+  occ_->pin(level, cache, opts_.occ_task_base + task,
+            dag_->task_size(level, task));
 }
 
 void SimCore::unpin_footprint(std::size_t level, std::size_t cache,
                               int task) {
-  if (occ_) occ_->unpin(level, cache, task);
+  if (occ_) occ_->unpin(level, cache, opts_.occ_task_base + task);
 }
 
 void SimCore::touch_unit(std::size_t proc, int u) {
   for (std::size_t l = 1; l <= num_levels(); ++l) {
     const int t = dag_->unit_task(l, u);
-    occ_->touch(l, m_->cache_above(proc, l), t, dag_->task_size(l, t));
+    occ_->touch(l, m_->cache_above(proc, l), opts_.occ_task_base + t,
+                dag_->task_size(l, t));
   }
 }
 

@@ -52,6 +52,22 @@ struct SchedOptions {
   /// durations, so makespan and the legacy stats are bit-identical with
   /// the flag on or off.
   bool measure_misses = false;
+  /// Service mode (src/serve/): carry the simulated occupancy *contents*
+  /// over from the previous run on this core instead of starting cold, so
+  /// consecutive jobs multiplexed onto one machine see each other's cache
+  /// residue. Only meaningful with measure_misses on a reset()-reused core
+  /// whose machine binding is unchanged; the reported measured_misses /
+  /// comm_cost are then *cumulative* since the occupancy last started cold
+  /// (callers take per-run deltas). Purely observational either way: unit
+  /// durations and makespan never depend on the occupancy layer.
+  bool keep_occupancy = false;
+  /// Added to every decomposition index before it is used as an occupancy
+  /// footprint key. The service engine gives each (tenant, condensation)
+  /// pair a disjoint 2^32-aligned range: different tenants' jobs can never
+  /// false-hit each other's data, while a tenant's repeat jobs over the
+  /// same workload share keys and can hit lines left warm by earlier jobs.
+  /// Irrelevant (and zero) outside service mode.
+  std::int64_t occ_task_base = 0;
   Trace* trace = nullptr;     ///< optional per-unit execution trace sink
 
   // Space-bounded family.

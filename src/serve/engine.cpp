@@ -1,0 +1,475 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "pmh/presets.hpp"
+#include "sched/condensed_dag.hpp"
+#include "sched/registry.hpp"
+#include "sched/sim_core.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ndf::serve {
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// value with at least q·N of the sample at or below it (docs/metrics.md).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = std::size_t(
+      std::max(1.0, std::ceil(q * double(sorted.size()))));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+/// The resolved, deterministic inputs every cell shares: built workloads,
+/// job streams with workload/tenant ids resolved, and the occupancy
+/// namespace geometry. Immutable during the fan-out.
+struct StreamPlan {
+  /// Distinct workloads across the stream + mix, by first use.
+  std::vector<exp::WorkloadSpec> specs;
+  std::vector<std::unique_ptr<exp::Workload>> built;
+  std::vector<std::size_t> job_widx;  ///< open jobs: workload index
+  std::vector<std::size_t> mix_widx;  ///< closed mix: workload index
+  /// Open jobs: tenant id by first appearance in the (sorted) input
+  /// stream — execution-order-independent, so every policy agrees.
+  std::vector<std::size_t> job_tenant;
+  std::size_t num_tenants = 0;
+
+  std::size_t intern(const exp::WorkloadSpec& w,
+                     std::map<std::string, std::size_t>& by_label) {
+    const auto [it, fresh] = by_label.emplace(w.label(), specs.size());
+    if (fresh) specs.push_back(w);
+    return it->second;
+  }
+};
+
+StreamPlan plan_stream(const ServeScenario& s) {
+  StreamPlan plan;
+  std::map<std::string, std::size_t> by_label;
+  std::map<std::string, std::size_t> tenant_ids;
+  plan.job_widx.reserve(s.jobs.size());
+  plan.job_tenant.reserve(s.jobs.size());
+  for (const JobSpec& j : s.jobs) {
+    plan.job_widx.push_back(plan.intern(j.workload, by_label));
+    plan.job_tenant.push_back(
+        tenant_ids.emplace(j.tenant, tenant_ids.size()).first->second);
+  }
+  plan.mix_widx.reserve(s.mix.size());
+  for (const exp::WorkloadSpec& w : s.mix)
+    plan.mix_widx.push_back(plan.intern(w, by_label));
+  plan.num_tenants =
+      s.closed ? s.closed->clients : std::max<std::size_t>(tenant_ids.size(), 1);
+  plan.built.resize(plan.specs.size());
+  return plan;
+}
+
+/// One job admitted to the machine: the spec plus its resolved workload
+/// and tenant ids and the effective (absolute) deadline.
+struct Admission {
+  JobSpec job;
+  std::size_t widx = 0;
+  std::size_t tenant_id = 0;
+};
+
+/// EDF-over-jobs admission key: earliest absolute deadline first (+inf —
+/// no deadline — sorts last), ties by arrival then submission index. The
+/// FIFO key is the same tuple without the deadline.
+bool edf_before(const Admission& a, const Admission& b) {
+  if (a.job.deadline != b.job.deadline) return a.job.deadline < b.job.deadline;
+  if (a.job.arrival != b.job.arrival) return a.job.arrival < b.job.arrival;
+  return a.job.index < b.job.index;
+}
+
+bool fifo_before(const Admission& a, const Admission& b) {
+  if (a.job.arrival != b.job.arrival) return a.job.arrival < b.job.arrival;
+  return a.job.index < b.job.index;
+}
+
+/// Runs one cell's full service simulation. Everything it reads is shared
+/// and immutable; everything it writes is local or the caller's slot.
+class CellRunner {
+ public:
+  CellRunner(const ServeScenario& s, const StreamPlan& plan, const Pmh& m,
+             double sigma, const std::string& policy,
+             const std::vector<const CondensedDag*>& dags)
+      : s_(s),
+        plan_(plan),
+        m_(m),
+        sigma_(sigma),
+        policy_(policy),
+        dags_(dags),
+        edf_(scheduler_deadline_aware(policy)) {}
+
+  void run(ServeCell& cell) {
+    cell.machine_desc = m_.to_string();
+    cell.policy = policy_;
+    cell.sigma = sigma_;
+    if (s_.closed)
+      run_closed(cell);
+    else
+      run_open(cell);
+    summarize(cell);
+  }
+
+ private:
+  /// Admits and runs `a` on the machine free at `now`; returns the
+  /// completion time.
+  double execute(double now, const Admission& a, ServeCell& cell) {
+    SchedOptions opts;
+    opts.sigma = sigma_;
+    opts.alpha_prime = s_.alpha_prime;
+    opts.charge_misses = s_.charge_misses;
+    opts.measure_misses = s_.measure_misses;
+    // The simulated caches persist across jobs; footprint keys are
+    // namespaced per (tenant, workload) so only a tenant's own repeat
+    // jobs can hit warm lines (engine.hpp, "Measured occupancy").
+    opts.keep_occupancy = s_.measure_misses;
+    opts.occ_task_base =
+        std::int64_t(a.tenant_id * plan_.specs.size() + a.widx) << 32;
+    opts.seed = s_.base_seed + a.job.index;
+
+    const CondensedDag& dag = *dags_[a.widx];
+    const auto sched = make_scheduler(policy_, opts);
+    if (core_)
+      core_->reset(dag, m_, opts);
+    else
+      core_ = std::make_unique<SimCore>(dag, m_, opts);
+    const SchedStats stats = core_->run(*sched);
+
+    JobRecord rec;
+    rec.job = a.job;
+    rec.start = now;
+    rec.service = stats.makespan;
+    rec.completion = now + stats.makespan;
+    rec.latency = rec.completion - a.job.arrival;
+    rec.utilization = stats.utilization;
+    rec.deadline_met =
+        !a.job.has_deadline() || rec.completion <= a.job.deadline;
+    if (!stats.measured_misses.empty()) {
+      // The persistent occupancy reports cumulative counters; this job's
+      // Q_i is the delta since the previous admission.
+      rec.measured_misses.resize(stats.measured_misses.size());
+      for (std::size_t l = 0; l < stats.measured_misses.size(); ++l)
+        rec.measured_misses[l] =
+            stats.measured_misses[l] -
+            (l < cum_misses_.size() ? cum_misses_[l] : 0.0);
+      rec.comm_cost = stats.comm_cost - cum_comm_;
+      cum_misses_ = stats.measured_misses;
+      cum_comm_ = stats.comm_cost;
+    }
+    const double completion = rec.completion;
+    cell.jobs.push_back(std::move(rec));
+    return completion;
+  }
+
+  void run_open(ServeCell& cell) {
+    cell.jobs.reserve(s_.jobs.size());
+    // Jobs arrive in (arrival, index) order; `queue` holds the arrived,
+    // not-yet-admitted ones in admission order. Non-preemptive: the
+    // machine runs one job to completion, then admits the next.
+    std::vector<Admission> queue;
+    std::size_t next = 0;
+    double now = 0.0;
+    const auto before = edf_ ? edf_before : fifo_before;
+    while (next < s_.jobs.size() || !queue.empty()) {
+      while (next < s_.jobs.size() && s_.jobs[next].arrival <= now) {
+        queue.push_back(
+            {s_.jobs[next], plan_.job_widx[next], plan_.job_tenant[next]});
+        ++next;
+      }
+      if (queue.empty()) {  // idle until the next arrival
+        now = s_.jobs[next].arrival;
+        continue;
+      }
+      const auto it = std::min_element(queue.begin(), queue.end(), before);
+      const Admission a = *it;
+      queue.erase(it);
+      now = execute(now, a, cell);
+    }
+  }
+
+  void run_closed(ServeCell& cell) {
+    const ArrivalSpec& spec = *s_.closed;
+    const std::size_t clients = spec.clients;
+    cell.jobs.reserve(clients * spec.jobs);
+    // Each client submits its next job `think` after its previous one
+    // completed; client c's k-th job has global submission index
+    // k·clients + c, the deterministic tie-break for the time-0 burst.
+    std::vector<double> ready(clients, 0.0);
+    std::vector<std::size_t> done(clients, 0);
+    double now = 0.0;
+    const auto before = edf_ ? edf_before : fifo_before;
+    for (std::size_t served = 0; served < clients * spec.jobs; ++served) {
+      bool any = false;
+      double soonest = 0.0;
+      for (std::size_t c = 0; c < clients; ++c) {
+        if (done[c] == spec.jobs) continue;
+        if (!any || ready[c] < soonest) soonest = ready[c];
+        any = true;
+      }
+      if (soonest > now) now = soonest;  // idle until a client is ready
+      // Admission scans the waiting clients; with <= a few thousand
+      // clients the O(clients) pass per job is noise next to the DAG
+      // simulation it admits.
+      bool have = false;
+      Admission best;
+      for (std::size_t c = 0; c < clients; ++c) {
+        if (done[c] == spec.jobs || ready[c] > now) continue;
+        Admission a;
+        a.job.index = done[c] * clients + c;
+        a.job.tenant = "t" + std::to_string(c);
+        a.job.arrival = ready[c];
+        if (spec.deadline > 0.0) a.job.deadline = ready[c] + spec.deadline;
+        a.widx = plan_.mix_widx[a.job.index % plan_.mix_widx.size()];
+        a.job.workload = plan_.specs[a.widx];
+        a.tenant_id = c;
+        if (!have || before(a, best)) {
+          best = std::move(a);
+          have = true;
+        }
+      }
+      const std::size_t c = best.tenant_id;
+      now = execute(now, best, cell);
+      ready[c] = now + spec.think;
+      ++done[c];
+    }
+  }
+
+  void summarize(ServeCell& cell) {
+    ServeSummary& sum = cell.summary;
+    sum.completed = cell.jobs.size();
+    if (cell.jobs.empty()) return;  // idle service: zeros, fairness 1
+
+    std::vector<double> latencies;
+    latencies.reserve(cell.jobs.size());
+    std::map<std::string, double> share;
+    double busy_weighted = 0.0, lat_total = 0.0;
+    for (const JobRecord& r : cell.jobs) {
+      sum.horizon = std::max(sum.horizon, r.completion);
+      latencies.push_back(r.latency);
+      lat_total += r.latency;
+      busy_weighted += r.utilization * r.service;
+      share[r.job.tenant] += r.service;
+      if (r.job.has_deadline()) {
+        ++sum.with_deadline;
+        if (!r.deadline_met) ++sum.deadline_misses;
+      }
+      if (!r.measured_misses.empty()) {
+        if (sum.measured_misses.size() < r.measured_misses.size())
+          sum.measured_misses.resize(r.measured_misses.size(), 0.0);
+        for (std::size_t l = 0; l < r.measured_misses.size(); ++l)
+          sum.measured_misses[l] += r.measured_misses[l];
+        sum.comm_cost += r.comm_cost;
+      }
+    }
+    if (sum.horizon > 0.0) {
+      sum.throughput = double(sum.completed) / sum.horizon;
+      sum.utilization = busy_weighted / sum.horizon;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    sum.latency_mean = lat_total / double(latencies.size());
+    sum.latency_p50 = percentile(latencies, 0.50);
+    sum.latency_p99 = percentile(latencies, 0.99);
+    sum.latency_p999 = percentile(latencies, 0.999);
+    sum.latency_max = latencies.back();
+    sum.tenants = share.size();
+    if (share.size() > 1) {
+      double lo = share.begin()->second, hi = lo;
+      for (const auto& [tenant, sv] : share) {
+        lo = std::min(lo, sv);
+        hi = std::max(hi, sv);
+      }
+      // A zero-service tenant makes the share ratio infinite; the JSON
+      // emitter maps that to null (no finite skew exists).
+      sum.fairness =
+          lo > 0.0 ? hi / lo
+                   : std::numeric_limits<double>::infinity();
+    }
+  }
+
+  const ServeScenario& s_;
+  const StreamPlan& plan_;
+  const Pmh& m_;
+  double sigma_;
+  const std::string& policy_;
+  const std::vector<const CondensedDag*>& dags_;
+  bool edf_;
+  // One simulator core serves the whole stream: reset()-rebound per job,
+  // occupancy carried across jobs when measuring.
+  std::unique_ptr<SimCore> core_;
+  std::vector<double> cum_misses_;  // occupancy counters are cumulative
+  double cum_comm_ = 0.0;
+};
+
+/// One cell's result, padded to a cache line: adjacent slots are written
+/// by different workers (exp/sweep.cpp, ResultSlot).
+struct alignas(64) CellSlot {
+  ServeCell cell;
+};
+
+}  // namespace
+
+std::size_t serve_grid_size(const ServeScenario& s) {
+  return s.machines.size() * s.sigmas.size() * s.policies.size();
+}
+
+void validate(const ServeScenario& s) {
+  NDF_CHECK_MSG(!s.machines.empty(), "serve scenario '" << s.name
+                                                        << "' has no machines");
+  NDF_CHECK_MSG(!s.policies.empty(), "serve scenario '" << s.name
+                                                        << "' has no policies");
+  NDF_CHECK_MSG(!s.sigmas.empty(), "serve scenario '"
+                                       << s.name << "' has no sigma values");
+  for (const std::string& p : s.policies)
+    NDF_CHECK_MSG(scheduler_registered(p),
+                  "serve scenario '" << s.name << "' names unknown policy '"
+                                     << p << "'");
+  for (const std::string& spec : s.machines) (void)parse_pmh(spec);
+  for (double sigma : s.sigmas)
+    NDF_CHECK_MSG(sigma > 0.0 && sigma < 1.0,
+                  "serve scenario '" << s.name << "' has sigma " << sigma
+                                     << " outside (0, 1)");
+  NDF_CHECK_MSG(s.alpha_prime > 0.0 && s.alpha_prime <= 1.0,
+                "serve scenario '" << s.name << "' has alpha' "
+                                   << s.alpha_prime << " outside (0, 1]");
+  if (s.closed) {
+    NDF_CHECK_MSG(s.closed->kind == "closed",
+                  "serve scenario '" << s.name
+                                     << "': the generated stream must be a "
+                                        "closed: spec, got '"
+                                     << s.closed->label() << "'");
+    NDF_CHECK_MSG(s.jobs.empty(),
+                  "serve scenario '" << s.name
+                                     << "' has both an explicit job stream "
+                                        "and a closed-loop generator");
+    NDF_CHECK_MSG(!s.mix.empty(), "serve scenario '"
+                                      << s.name
+                                      << "': a closed-loop stream needs a "
+                                         "non-empty workload mix");
+  }
+  for (const JobSpec& j : s.jobs) {
+    NDF_CHECK_MSG(std::isfinite(j.arrival) && j.arrival >= 0.0,
+                  "serve scenario '" << s.name << "': job " << j.index
+                                     << " ('" << j.workload.label()
+                                     << "') has arrival " << j.arrival);
+    NDF_CHECK_MSG(j.deadline >= j.arrival,
+                  "serve scenario '" << s.name << "': job " << j.index
+                                     << " ('" << j.workload.label()
+                                     << "') has deadline " << j.deadline
+                                     << " before its arrival " << j.arrival);
+  }
+}
+
+const std::vector<ServeCell>& ServeSweep::run() {
+  if (ran_) return results_;
+  results_.clear();
+  condensations_ = 0;
+  validate(scenario_);
+
+  std::vector<Pmh> machines;
+  machines.reserve(scenario_.machines.size());
+  for (const std::string& spec : scenario_.machines)
+    machines.push_back(make_pmh(spec));
+
+  try {
+    StreamPlan plan = plan_stream(scenario_);
+
+    // Dedupe machine cache profiles (plan_condensations' trick): dags are
+    // keyed by (workload, σ, profile), so machines sharing a profile share
+    // every condensation.
+    std::vector<std::vector<double>> profiles;
+    std::vector<std::size_t> machine_profile(machines.size());
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      std::vector<double> sizes = level_cache_sizes(machines[m]);
+      std::size_t p = 0;
+      while (p < profiles.size() && profiles[p] != sizes) ++p;
+      if (p == profiles.size()) profiles.push_back(std::move(sizes));
+      machine_profile[m] = p;
+    }
+
+    const std::size_t W = plan.specs.size();
+    const std::size_t S = scenario_.sigmas.size();
+    const std::size_t cells = serve_grid_size(scenario_);
+    const std::size_t jobs =
+        std::min(jobs_ == 0 ? ThreadPool::default_jobs() : jobs_,
+                 std::max<std::size_t>(cells, 1));
+
+    // Every cell serves the same stream, so every (σ, profile) pair needs
+    // every workload's condensation: the dag table is dense, profile-major.
+    std::vector<std::unique_ptr<CondensedDag>> dags(profiles.size() * S * W);
+    std::vector<CellSlot> slots(cells);
+    ThreadPool pool(jobs);  // after the data its tasks touch (exp/sweep.cpp)
+
+    // Phase 1: build each distinct workload once, in parallel.
+    {
+      std::vector<std::future<void>> futs;
+      futs.reserve(W);
+      for (std::size_t w = 0; w < W; ++w)
+        futs.push_back(pool.submit([w, &plan] {
+          plan.built[w] = std::make_unique<exp::Workload>(plan.specs[w]);
+        }));
+      wait_all(futs);
+    }
+
+    // Phase 2: build each (workload, σ, profile) condensation once.
+    {
+      std::vector<std::future<void>> futs;
+      futs.reserve(dags.size());
+      for (std::size_t p = 0; p < profiles.size(); ++p)
+        for (std::size_t g = 0; g < S; ++g)
+          for (std::size_t w = 0; w < W; ++w) {
+            const std::size_t k = (p * S + g) * W + w;
+            futs.push_back(pool.submit([this, k, p, g, w, &plan, &profiles,
+                                        &dags] {
+              dags[k] = std::make_unique<CondensedDag>(
+                  plan.built[w]->graph(), profiles[p], scenario_.sigmas[g]);
+            }));
+          }
+      wait_all(futs);
+    }
+
+    // Phase 3: fan the cells out; each writes only its own padded slot, so
+    // the merged vector is in grid order and output is byte-identical at
+    // any worker count.
+    parallel_for_chunks(
+        pool, cells, 4 * jobs,
+        [this, S, W, &plan, &machines, &machine_profile, &dags,
+         &slots](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            // Grid order: machine-major, then σ, then policy.
+            const std::size_t m = i / (S * scenario_.policies.size());
+            const std::size_t g =
+                (i / scenario_.policies.size()) % S;
+            const std::size_t p = i % scenario_.policies.size();
+            const std::size_t base = (machine_profile[m] * S + g) * W;
+            std::vector<const CondensedDag*> cell_dags(W);
+            for (std::size_t w = 0; w < W; ++w)
+              cell_dags[w] = dags[base + w].get();
+            slots[i].cell.machine = scenario_.machines[m];
+            CellRunner runner(scenario_, plan, machines[m],
+                              scenario_.sigmas[g], scenario_.policies[p],
+                              cell_dags);
+            runner.run(slots[i].cell);
+          }
+        });
+
+    results_.reserve(cells);
+    for (CellSlot& s : slots) results_.push_back(std::move(s.cell));
+    condensations_ = dags.size();
+  } catch (...) {
+    // A failed run leaves the object as if run() was never called
+    // (exp/sweep.cpp's contract).
+    results_.clear();
+    condensations_ = 0;
+    throw;
+  }
+
+  ran_ = true;
+  return results_;
+}
+
+}  // namespace ndf::serve

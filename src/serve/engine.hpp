@@ -1,0 +1,148 @@
+// The open-arrivals service engine: multiplexes a stream of DAG jobs from
+// many tenants onto one PMH machine and reports service metrics —
+// throughput, per-tenant fairness, p50/p99/p999 job latency — instead of a
+// single batch makespan.
+//
+// Model: non-preemptive run-to-completion admission. Jobs wait in an
+// admission queue from their arrival; whenever the machine is free, the
+// admission order picks the next job — arrival order (FIFO) for the
+// classic policies, earliest-absolute-deadline first for policies
+// registered deadline-aware (`edf`), ties broken by arrival time then
+// submission index. The admitted job runs alone on the whole machine
+// through the shared discrete-event core: one SimCore per worker is
+// reset()-rebound per job (the PR-6 arena design), so serving a thousand
+// jobs allocates like serving one. Job latency = completion − arrival,
+// queueing included.
+//
+// Measured occupancy (--misses): the simulated caches persist *across*
+// jobs (SchedOptions::keep_occupancy), so each job starts in whatever
+// state the previous tenants left the hierarchy in. Footprint keys are
+// namespaced per (tenant, workload): different tenants can never
+// false-hit each other's data, while a tenant's repeat jobs over the same
+// workload can hit lines still warm from earlier jobs. Each JobRecord
+// carries the per-job *delta* of every level's measured misses — the Q_i
+// attributable to that tenant's job, directly comparable against the
+// job's own Q* bound.
+//
+// The grid (machines × σ × policies) mirrors src/exp: cells sharing a
+// (workload, σ, cache-profile) share one condensation, cells fan out over
+// a thread pool, each cell writes only its own pre-sized slot, and output
+// is byte-identical at every `jobs` worker count (tested, CI-gated).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "serve/arrivals.hpp"
+
+namespace ndf::serve {
+
+/// A service scenario: one job stream × machines × σ × policies.
+struct ServeScenario {
+  std::string name = "serve";
+  /// Open stream (trace or expanded poisson), in any order; the engine
+  /// serves arrivals in (arrival, index) order. May be empty (an idle
+  /// service reports zero throughput, not an error).
+  std::vector<JobSpec> jobs;
+  /// Closed-loop generator instead of `jobs` (arrivals depend on service
+  /// times); requires a non-empty `mix`.
+  std::optional<ArrivalSpec> closed;
+  std::vector<exp::WorkloadSpec> mix;  ///< closed-loop workload rotation
+  std::vector<std::string> machines;   ///< pmh specs (pmh/presets.hpp)
+  std::vector<std::string> policies;   ///< registry names; deadline-aware
+                                       ///< ones get EDF-over-jobs admission
+  std::vector<double> sigmas{1.0 / 3.0};
+  double alpha_prime = 1.0;
+  std::uint64_t base_seed = 42;  ///< job i runs with seed base_seed + i
+  bool charge_misses = true;
+  bool measure_misses = false;  ///< persistent occupancy + per-job Q_i
+};
+
+/// One served job: the resolved spec plus its service trajectory.
+struct JobRecord {
+  JobSpec job;
+  double start = 0.0;       ///< admission (= execution start) time
+  double completion = 0.0;  ///< start + service
+  double latency = 0.0;     ///< completion − arrival (queueing included)
+  double service = 0.0;     ///< the job's makespan on the whole machine
+  double utilization = 0.0; ///< processor utilization while it ran
+  bool deadline_met = true; ///< false only when it had one and missed it
+  /// Per-level measured misses attributable to this job (delta of the
+  /// persistent occupancy counters); empty unless measuring.
+  std::vector<double> measured_misses;
+  double comm_cost = 0.0;   ///< Σ level delta · C_level (0 unless measuring)
+};
+
+/// Aggregates of one grid cell's completed stream.
+struct ServeSummary {
+  std::size_t completed = 0;
+  double horizon = 0.0;      ///< completion time of the last job
+  double throughput = 0.0;   ///< completed / horizon
+  double utilization = 0.0;  ///< Σ busy time / (p · horizon)
+  double latency_mean = 0.0;
+  /// Nearest-rank percentiles of job latency (docs/metrics.md).
+  double latency_p50 = 0.0, latency_p99 = 0.0, latency_p999 = 0.0;
+  double latency_max = 0.0;
+  std::size_t tenants = 0;
+  /// Max/min per-tenant service share — 1.0 is perfectly fair, larger is
+  /// more skewed. 1.0 when at most one tenant completed anything.
+  double fairness = 1.0;
+  std::size_t with_deadline = 0, deadline_misses = 0;
+  /// Per-level measured miss totals over the whole stream (empty unless
+  /// measuring), and their total cost.
+  std::vector<double> measured_misses;
+  double comm_cost = 0.0;
+};
+
+/// One executed grid cell: coordinates, the served jobs in execution
+/// order, and the aggregates.
+struct ServeCell {
+  std::string machine;       ///< the spec string the scenario named
+  std::string machine_desc;  ///< Pmh::to_string() of the built machine
+  std::string policy;
+  double sigma = 1.0 / 3.0;
+  std::vector<JobRecord> jobs;  ///< in execution (admission) order
+  ServeSummary summary;
+};
+
+/// |machines| · |sigmas| · |policies|.
+std::size_t serve_grid_size(const ServeScenario& s);
+
+/// Checks axes, registry names, machine specs, σ/α' ranges, and stream
+/// coherence (closed needs a mix; arrivals finite). Throws CheckError.
+void validate(const ServeScenario& s);
+
+/// The serve runner. Expands machines × σ × policies, builds each distinct
+/// workload and each (workload, σ, cache-profile) condensation exactly
+/// once, then executes every cell's full service simulation — on a thread
+/// pool when `jobs` allows, with byte-identical results at any worker
+/// count.
+class ServeSweep {
+ public:
+  /// `jobs` is the cell-execution worker count: 0 = hardware concurrency,
+  /// 1 = serial; clamped to the cell count.
+  explicit ServeSweep(ServeScenario s, std::size_t jobs = 0)
+      : scenario_(std::move(s)), jobs_(jobs) {}
+
+  /// Expands and executes the grid (first call; later calls return the
+  /// cached results). Cells are in machine-major, then σ, then policy
+  /// order. A run that throws leaves the object fully reset.
+  const std::vector<ServeCell>& run();
+
+  const ServeScenario& scenario() const { return scenario_; }
+  const std::vector<ServeCell>& results() const { return results_; }
+  /// CondensedDags built (== distinct workload × σ × cache-profile
+  /// combinations). Zero until a run completes.
+  std::size_t condensations_built() const { return condensations_; }
+  std::size_t jobs() const { return jobs_; }
+
+ private:
+  ServeScenario scenario_;
+  std::size_t jobs_ = 0;
+  std::vector<ServeCell> results_;
+  std::size_t condensations_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ndf::serve

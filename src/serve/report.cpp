@@ -1,0 +1,197 @@
+#include "serve/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "exp/report.hpp"
+
+namespace ndf::serve {
+
+namespace {
+
+using exp::detail::csv_field;
+using exp::detail::json_escape;
+using exp::detail::write_number;
+
+/// Deepest measured-miss vector across all cells: 0 when nothing was
+/// measured, in which case no Q column appears anywhere and the output is
+/// byte-identical to a --misses-off run (exp/report.cpp's contract).
+std::size_t max_measured_levels(const std::vector<ServeCell>& cells) {
+  std::size_t L = 0;
+  for (const ServeCell& c : cells) {
+    L = std::max(L, c.summary.measured_misses.size());
+    for (const JobRecord& r : c.jobs)
+      L = std::max(L, r.measured_misses.size());
+  }
+  return L;
+}
+
+}  // namespace
+
+Table summary_table(const std::string& title,
+                    const std::vector<ServeCell>& cells) {
+  const std::size_t Q = max_measured_levels(cells);
+  Table t(title);
+  std::vector<std::string> header{
+      "machine",  "policy",   "sigma",    "jobs",     "horizon",
+      "thruput",  "util",     "fairness", "tenants",  "lat_mean",
+      "lat_p50",  "lat_p99",  "lat_p999", "lat_max",  "ddl",
+      "ddl_miss"};
+  if (Q > 0) {
+    header.push_back("comm_cost");
+    for (std::size_t l = 1; l <= Q; ++l)
+      header.push_back("Q_L" + std::to_string(l));
+  }
+  t.set_header(std::move(header));
+  for (const ServeCell& c : cells) {
+    const ServeSummary& s = c.summary;
+    std::vector<Cell> row;
+    row.reserve(16 + (Q > 0 ? Q + 1 : 0));
+    row.push_back(c.machine);
+    row.push_back(c.policy);
+    row.push_back(c.sigma);
+    row.push_back((long long)s.completed);
+    row.push_back(s.horizon);
+    row.push_back(s.throughput);
+    row.push_back(s.utilization);
+    row.push_back(s.fairness);
+    row.push_back((long long)s.tenants);
+    row.push_back(s.latency_mean);
+    row.push_back(s.latency_p50);
+    row.push_back(s.latency_p99);
+    row.push_back(s.latency_p999);
+    row.push_back(s.latency_max);
+    row.push_back((long long)s.with_deadline);
+    row.push_back((long long)s.deadline_misses);
+    if (Q > 0) {
+      if (s.measured_misses.empty())
+        row.push_back(std::string("-"));
+      else
+        row.push_back(s.comm_cost);
+      for (std::size_t l = 0; l < Q; ++l)
+        if (l < s.measured_misses.size())
+          row.push_back(s.measured_misses[l]);
+        else
+          row.push_back(std::string("-"));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void write_serve_json(std::ostream& os, const std::string& name,
+                      const std::vector<ServeCell>& cells) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "{\n  \"serve\": \"" << json_escape(name) << "\",\n  \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ServeCell& c = cells[i];
+    const ServeSummary& s = c.summary;
+    os << (i ? ",\n" : "\n") << "    {\"machine\": \""
+       << json_escape(c.machine) << "\", \"machine_desc\": \""
+       << json_escape(c.machine_desc) << "\", \"policy\": \""
+       << json_escape(c.policy) << "\", \"sigma\": ";
+    write_number(os, c.sigma);
+    os << ",\n     \"summary\": {\"completed\": " << s.completed
+       << ", \"horizon\": ";
+    write_number(os, s.horizon);
+    os << ", \"throughput\": ";
+    write_number(os, s.throughput);
+    os << ", \"utilization\": ";
+    write_number(os, s.utilization);
+    os << ", \"latency\": {\"mean\": ";
+    write_number(os, s.latency_mean);
+    os << ", \"p50\": ";
+    write_number(os, s.latency_p50);
+    os << ", \"p99\": ";
+    write_number(os, s.latency_p99);
+    os << ", \"p999\": ";
+    write_number(os, s.latency_p999);
+    os << ", \"max\": ";
+    write_number(os, s.latency_max);
+    os << "}, \"tenants\": " << s.tenants << ", \"fairness\": ";
+    write_number(os, s.fairness);  // inf (zero-share tenant) becomes null
+    os << ", \"with_deadline\": " << s.with_deadline
+       << ", \"deadline_misses\": " << s.deadline_misses;
+    if (!s.measured_misses.empty()) {
+      os << ", \"comm_cost\": ";
+      write_number(os, s.comm_cost);
+      os << ", \"measured_misses\": [";
+      for (std::size_t l = 0; l < s.measured_misses.size(); ++l) {
+        if (l) os << ", ";
+        write_number(os, s.measured_misses[l]);
+      }
+      os << "]";
+    }
+    os << "},\n     \"jobs\": [";
+    for (std::size_t j = 0; j < c.jobs.size(); ++j) {
+      const JobRecord& r = c.jobs[j];
+      os << (j ? ",\n       " : "\n       ") << "{\"index\": " << r.job.index
+         << ", \"tenant\": \"" << json_escape(r.job.tenant)
+         << "\", \"workload\": \"" << json_escape(r.job.workload.label())
+         << "\", \"arrival\": ";
+      write_number(os, r.job.arrival);
+      os << ", \"deadline\": ";
+      write_number(os, r.job.deadline);  // +inf (none) becomes null
+      os << ", \"start\": ";
+      write_number(os, r.start);
+      os << ", \"completion\": ";
+      write_number(os, r.completion);
+      os << ", \"latency\": ";
+      write_number(os, r.latency);
+      os << ", \"service\": ";
+      write_number(os, r.service);
+      os << ", \"utilization\": ";
+      write_number(os, r.utilization);
+      os << ", \"deadline_met\": " << (r.deadline_met ? "true" : "false");
+      if (!r.measured_misses.empty()) {
+        os << ", \"comm_cost\": ";
+        write_number(os, r.comm_cost);
+        os << ", \"measured_misses\": [";
+        for (std::size_t l = 0; l < r.measured_misses.size(); ++l) {
+          if (l) os << ", ";
+          write_number(os, r.measured_misses[l]);
+        }
+        os << "]";
+      }
+      os << "}";
+    }
+    os << (c.jobs.empty() ? "]}" : "\n     ]}");
+  }
+  os << "\n  ]\n}\n";
+}
+
+void write_serve_csv(std::ostream& os, const std::vector<ServeCell>& cells) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  const std::size_t Q = max_measured_levels(cells);
+  os << "machine,policy,sigma,job,tenant,workload,arrival,deadline,start,"
+        "completion,latency,service,utilization,deadline_met";
+  if (Q > 0) {
+    os << ",comm_cost";
+    for (std::size_t l = 1; l <= Q; ++l) os << ",q_l" << l;
+  }
+  os << "\n";
+  for (const ServeCell& c : cells) {
+    for (const JobRecord& r : c.jobs) {
+      os << csv_field(c.machine) << ',' << c.policy << ',' << c.sigma << ','
+         << r.job.index << ',' << csv_field(r.job.tenant) << ','
+         << csv_field(r.job.workload.label()) << ',' << r.job.arrival << ',';
+      if (r.job.has_deadline()) os << r.job.deadline;  // empty = none
+      os << ',' << r.start << ',' << r.completion << ',' << r.latency << ','
+         << r.service << ',' << r.utilization << ','
+         << (r.deadline_met ? 1 : 0);
+      if (Q > 0) {
+        os << ',';
+        if (!r.measured_misses.empty()) os << r.comm_cost;
+        for (std::size_t l = 0; l < Q; ++l) {
+          os << ',';
+          if (l < r.measured_misses.size()) os << r.measured_misses[l];
+        }
+      }
+      os << "\n";
+    }
+  }
+}
+
+}  // namespace ndf::serve

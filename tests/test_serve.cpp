@@ -1,0 +1,441 @@
+// Tests of the open-arrivals service mode (src/serve/):
+//   V1  arrival-spec parsing: round-trip labels, loud failures that name
+//       the full offending spec verbatim (unknown kind/key, duplicates,
+//       missing required keys, out-of-range values)
+//   V2  trace parsing: comments/blanks, (arrival, input-order) sorting,
+//       deadlines; malformed lines fail loudly with file:line and the
+//       offending text verbatim
+//   V3  poisson expansion is a pure function of (spec, mix); closed specs
+//       and empty mixes are rejected
+//   V4  the edf policy: registered, flagged deadline-aware, and its batch
+//       (single-DAG) stats are bit-identical to greedy's — the unit-level
+//       discipline is the same; only service-mode admission differs
+//   V5  service semantics: a single-job stream equals the batch makespan
+//       (latency = service when it arrives at time 0), simultaneous
+//       arrivals tie-break by submission index under FIFO and by deadline
+//       under EDF, and an empty stream is an idle service (zeros,
+//       fairness 1), not an error
+//   V6  determinism: the full grid at --jobs=1 and --jobs=4 produces
+//       byte-identical table/JSON/CSV output (measured and unmeasured),
+//       and a rerun with the same seed reproduces it
+//   V7  per-job measured Q_i (--misses): tenant namespacing means another
+//       tenant's identical job measures exactly the same cold misses,
+//       per-job deltas sum to the cell totals, and a tenant's repeat job
+//       benefits from its own warm lines
+//   V8  scenario validation: unknown policies, stream conflicts and
+//       out-of-range parameters fail loudly
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "exp/workload.hpp"
+#include "pmh/presets.hpp"
+#include "sched/condensed_dag.hpp"
+#include "sched/registry.hpp"
+#include "sched/sim_core.hpp"
+#include "serve/engine.hpp"
+#include "serve/report.hpp"
+#include "support/check.hpp"
+
+namespace ndf {
+namespace {
+
+using serve::ArrivalSpec;
+using serve::JobSpec;
+using serve::ServeCell;
+using serve::ServeScenario;
+using serve::ServeSweep;
+
+/// The error message a callable throws (empty = it did not throw): every
+/// loud-failure test asserts on the message content, not just the throw.
+template <typename Fn>
+std::string check_error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  return std::string();
+}
+
+TEST(Arrivals, SpecRoundTripAndDefaults) {  // V1
+  ArrivalSpec a = serve::parse_arrivals("poisson:rate=0.5,jobs=10");
+  EXPECT_EQ(a.kind, "poisson");
+  EXPECT_DOUBLE_EQ(a.rate, 0.5);
+  EXPECT_EQ(a.jobs, 10u);
+  EXPECT_EQ(a.tenants, 1u);
+  EXPECT_EQ(a.seed, 42u);
+  EXPECT_EQ(a.label(), "poisson:rate=0.5,jobs=10");
+
+  a = serve::parse_arrivals(
+      "poisson:rate=2,jobs=8,tenants=3,deadline=50,seed=7");
+  EXPECT_EQ(a.tenants, 3u);
+  EXPECT_DOUBLE_EQ(a.deadline, 50.0);
+  EXPECT_EQ(a.seed, 7u);
+  EXPECT_EQ(serve::parse_arrivals(a.label()).label(), a.label());
+
+  a = serve::parse_arrivals("closed:clients=4,jobs=6,think=100");
+  EXPECT_EQ(a.kind, "closed");
+  EXPECT_EQ(a.clients, 4u);
+  EXPECT_DOUBLE_EQ(a.think, 100.0);
+  EXPECT_EQ(serve::parse_arrivals(a.label()).label(), a.label());
+}
+
+TEST(Arrivals, LoudFailuresNameTheFullSpec) {  // V1
+  // Every rejection must quote the complete offending spec verbatim, so a
+  // failure in a sweep over many streams is attributable at a glance.
+  const char* bad[] = {
+      "uniform:rate=1,jobs=4",          // unknown kind
+      "poisson:rate=1,jobs=4,foo=1",    // unknown key
+      "poisson:rate=1,rate=2,jobs=4",   // duplicate key
+      "poisson:rate=1",                 // missing jobs
+      "poisson:jobs=4",                 // missing rate
+      "closed:jobs=4",                  // missing clients
+      "poisson:rate=-1,jobs=4",         // out of range
+      "poisson:rate=abc,jobs=4",        // not a number
+      "closed:clients=4,jobs=4,rate=1"  // poisson-only key on closed
+  };
+  for (const char* spec : bad) {
+    const std::string msg =
+        check_error_of([&] { serve::parse_arrivals(spec); });
+    ASSERT_FALSE(msg.empty()) << spec;
+    EXPECT_NE(msg.find(std::string("'") + spec + "'"), std::string::npos)
+        << "message for '" << spec << "' does not name it: " << msg;
+  }
+}
+
+TEST(Arrivals, TraceParsingSortsAndKeepsInputOrderOnTies) {  // V2
+  std::istringstream in(
+      "# a comment line\n"
+      "100 bob lcs:n=96\n"
+      "\n"
+      "0 alice mm:n=32 deadline=500\n"
+      "100 carol mm:n=32\n");
+  const std::vector<JobSpec> jobs = serve::parse_trace(in, "test");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].tenant, "alice");
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 0.0);
+  EXPECT_TRUE(jobs[0].has_deadline());
+  EXPECT_DOUBLE_EQ(jobs[0].deadline, 500.0);
+  // Equal arrivals keep input order: bob (submitted first) before carol.
+  EXPECT_EQ(jobs[1].tenant, "bob");
+  EXPECT_EQ(jobs[2].tenant, "carol");
+  EXPECT_FALSE(jobs[1].has_deadline());
+  // `index` is the submission (input) order, not the sorted position.
+  EXPECT_EQ(jobs[0].index, 1u);
+  EXPECT_EQ(jobs[1].index, 0u);
+}
+
+TEST(Arrivals, TraceRejectionsNameLineAndText) {  // V2
+  struct Case {
+    const char* line;
+    const char* expect;  // must appear in the message
+  };
+  const Case cases[] = {
+      {"abc alice mm:n=32", "'abc'"},
+      {"5 alice", "want '<arrival> <tenant> <workload-spec>"},
+      {"5 alice nope:n=4", "unknown workload 'nope'"},
+      {"5 alice mm:n=32 deadline=2", "deadline"},  // before arrival
+      {"5 alice mm:n=32 extra", "unexpected token 'extra'"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(c.line);
+    const std::string msg =
+        check_error_of([&] { serve::parse_trace(in, "t.trace"); });
+    ASSERT_FALSE(msg.empty()) << c.line;
+    EXPECT_NE(msg.find("t.trace:1"), std::string::npos)
+        << "no file:line for '" << c.line << "': " << msg;
+    EXPECT_NE(msg.find(c.expect), std::string::npos)
+        << "message for '" << c.line << "': " << msg;
+  }
+}
+
+TEST(Arrivals, PoissonExpansionIsDeterministic) {  // V3
+  const ArrivalSpec spec =
+      serve::parse_arrivals("poisson:rate=0.01,jobs=16,tenants=3,deadline=99");
+  const auto mix = exp::parse_workload_list("mm:n=32;lcs:n=96");
+  const auto a = serve::expand_open_arrivals(spec, mix);
+  const auto b = serve::expand_open_arrivals(spec, mix);
+  ASSERT_EQ(a.size(), 16u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival) << i;
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << i;
+    EXPECT_EQ(a[i].workload.label(), b[i].workload.label()) << i;
+    EXPECT_DOUBLE_EQ(a[i].deadline, a[i].arrival + 99.0) << i;
+    if (i) EXPECT_GT(a[i].arrival, a[i - 1].arrival) << i;
+  }
+  // Round-robin dealing over tenants and the mix.
+  EXPECT_EQ(a[0].tenant, "t0");
+  EXPECT_EQ(a[4].tenant, "t1");
+  EXPECT_EQ(a[1].workload.label(), "lcs:n=96");
+
+  EXPECT_FALSE(check_error_of([&] {
+                 serve::expand_open_arrivals(
+                     serve::parse_arrivals("closed:clients=2,jobs=4"), mix);
+               }).empty());
+  EXPECT_FALSE(
+      check_error_of([&] { serve::expand_open_arrivals(spec, {}); }).empty());
+}
+
+TEST(EdfPolicy, RegisteredAndDeadlineAware) {  // V4
+  EXPECT_TRUE(scheduler_registered("edf"));
+  EXPECT_TRUE(scheduler_deadline_aware("edf"));
+  EXPECT_FALSE(scheduler_deadline_aware("sb"));
+  EXPECT_FALSE(scheduler_deadline_aware("greedy"));
+  const std::string msg =
+      check_error_of([] { scheduler_deadline_aware("nope"); });
+  EXPECT_NE(msg.find("nope"), std::string::npos) << msg;
+  bool listed = false;
+  for (const auto& info : registered_schedulers())
+    if (info.name == "edf") listed = info.deadline_aware;
+  EXPECT_TRUE(listed);
+}
+
+TEST(EdfPolicy, BatchStatsBitIdenticalToGreedy) {  // V4
+  // In batch mode edf has nothing to order by deadline; its unit-level
+  // discipline is greedy's, by construction — verified bit for bit so the
+  // policy is safe to include in ordinary sweeps.
+  const exp::Workload w(exp::parse_workload("gen:family=sp,depth=6,fan=3,"
+                                            "seed=7"));
+  for (const char* machine : {"flat16", "deep2x4"}) {
+    const Pmh m = make_pmh(machine);
+    SchedOptions opts;
+    opts.measure_misses = true;
+    SimCore core(w.graph(), m, opts);
+    const auto edf = make_scheduler("edf", opts);
+    const SchedStats a = core.run(*edf);
+    SimCore fresh(w.graph(), m, opts);
+    const auto greedy = make_scheduler("greedy", opts);
+    const SchedStats b = fresh.run(*greedy);
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan) << machine;
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization) << machine;
+    EXPECT_DOUBLE_EQ(a.miss_cost, b.miss_cost) << machine;
+    ASSERT_EQ(a.measured_misses.size(), b.measured_misses.size()) << machine;
+    for (std::size_t l = 0; l < a.measured_misses.size(); ++l)
+      EXPECT_DOUBLE_EQ(a.measured_misses[l], b.measured_misses[l])
+          << machine << " L" << (l + 1);
+  }
+}
+
+ServeScenario trace_scenario(const std::string& trace,
+                             const std::string& policy) {
+  std::istringstream in(trace);
+  ServeScenario s;
+  s.jobs = serve::parse_trace(in, "test");
+  s.machines = {"flat16"};
+  s.policies = {policy};
+  return s;
+}
+
+TEST(ServeEngine, SingleJobEqualsBatchMakespan) {  // V5
+  ServeScenario s = trace_scenario("0 solo mm:n=32\n", "sb");
+  ServeSweep sweep(s, 1);
+  const std::vector<ServeCell>& cells = sweep.run();
+  ASSERT_EQ(cells.size(), 1u);
+  ASSERT_EQ(cells[0].jobs.size(), 1u);
+  const serve::JobRecord& rec = cells[0].jobs[0];
+
+  // The same (workload, machine, σ, policy) as a batch run.
+  const exp::Workload w(exp::parse_workload("mm:n=32"));
+  const Pmh m = make_pmh("flat16");
+  SimCore core(w.graph(), m, SchedOptions{});
+  const auto sb = make_scheduler("sb", SchedOptions{});
+  const SchedStats batch = core.run(*sb);
+
+  EXPECT_DOUBLE_EQ(rec.service, batch.makespan);
+  EXPECT_DOUBLE_EQ(rec.start, 0.0);
+  // Arrived at 0 into an idle machine: latency is pure service time.
+  EXPECT_DOUBLE_EQ(rec.latency, batch.makespan);
+  EXPECT_DOUBLE_EQ(rec.utilization, batch.utilization);
+  EXPECT_DOUBLE_EQ(cells[0].summary.horizon, batch.makespan);
+  EXPECT_DOUBLE_EQ(cells[0].summary.throughput, 1.0 / batch.makespan);
+  EXPECT_EQ(cells[0].summary.tenants, 1u);
+  EXPECT_DOUBLE_EQ(cells[0].summary.fairness, 1.0);
+}
+
+TEST(ServeEngine, EmptyStreamIsAnIdleService) {  // V5
+  ServeScenario s;
+  s.machines = {"flat16"};
+  s.policies = {"sb", "edf"};
+  ServeSweep sweep(s, 1);
+  const auto& cells = sweep.run();
+  ASSERT_EQ(cells.size(), 2u);
+  for (const ServeCell& c : cells) {
+    EXPECT_TRUE(c.jobs.empty());
+    EXPECT_EQ(c.summary.completed, 0u);
+    EXPECT_DOUBLE_EQ(c.summary.throughput, 0.0);
+    EXPECT_DOUBLE_EQ(c.summary.fairness, 1.0);
+  }
+  // The emitters accept the empty stream too.
+  std::ostringstream json, csv;
+  serve::write_serve_json(json, "empty", cells);
+  serve::write_serve_csv(csv, cells);
+  EXPECT_NE(json.str().find("\"completed\": 0"), std::string::npos);
+}
+
+TEST(ServeEngine, SimultaneousArrivalsTieBreak) {  // V5
+  // Three jobs all arrive at time 0. FIFO admission must follow the
+  // submission index; EDF admission must follow the absolute deadline,
+  // with the index breaking the remaining tie.
+  const std::string trace =
+      "0 a mm:n=32 deadline=900000\n"
+      "0 b lcs:n=96 deadline=500000\n"
+      "0 c mm:n=32 deadline=900000\n";
+  {
+    ServeSweep sweep(trace_scenario(trace, "sb"), 1);
+    const auto& cells = sweep.run();
+    ASSERT_EQ(cells[0].jobs.size(), 3u);
+    EXPECT_EQ(cells[0].jobs[0].job.tenant, "a");
+    EXPECT_EQ(cells[0].jobs[1].job.tenant, "b");
+    EXPECT_EQ(cells[0].jobs[2].job.tenant, "c");
+  }
+  {
+    ServeSweep sweep(trace_scenario(trace, "edf"), 1);
+    const auto& cells = sweep.run();
+    ASSERT_EQ(cells[0].jobs.size(), 3u);
+    EXPECT_EQ(cells[0].jobs[0].job.tenant, "b");  // earliest deadline
+    EXPECT_EQ(cells[0].jobs[1].job.tenant, "a");  // tie: index order
+    EXPECT_EQ(cells[0].jobs[2].job.tenant, "c");
+  }
+  // Without deadlines EDF degenerates to FIFO (+inf sorts last, index
+  // breaks the tie) — the admission orders must agree exactly.
+  const std::string plain = "0 a mm:n=32\n0 b lcs:n=96\n0 c mm:n=32\n";
+  ServeSweep fifo_sweep(trace_scenario(plain, "greedy"), 1);
+  ServeSweep edf_sweep(trace_scenario(plain, "edf"), 1);
+  const auto& fifo = fifo_sweep.run();
+  const auto& edf = edf_sweep.run();
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(fifo[0].jobs[j].job.tenant, edf[0].jobs[j].job.tenant) << j;
+    EXPECT_DOUBLE_EQ(fifo[0].jobs[j].completion, edf[0].jobs[j].completion)
+        << j;
+  }
+}
+
+/// Everything ndf_serve emits for a scenario, as one string — the byte-
+/// identity oracle (mirrors test_exp's emit_everything).
+std::string emit_everything(ServeSweep& sweep) {
+  const auto& cells = sweep.run();
+  std::ostringstream os;
+  serve::summary_table("t", cells).print(os);
+  serve::write_serve_json(os, sweep.scenario().name, cells);
+  serve::write_serve_csv(os, cells);
+  return os.str();
+}
+
+TEST(ServeEngine, ByteIdenticalAcrossJobsAndReruns) {  // V6
+  for (const bool misses : {false, true}) {
+    ServeScenario s;
+    s.name = "det";
+    const ArrivalSpec spec = serve::parse_arrivals(
+        "poisson:rate=0.0005,jobs=12,tenants=3,deadline=50000");
+    s.mix = exp::parse_workload_list(
+        "mm:n=32;gen:family=sp,depth=5,fan=3,seed=3");
+    s.jobs = serve::expand_open_arrivals(spec, s.mix);
+    s.machines = {"flat16", "deep2x4"};
+    s.policies = {"sb", "ws", "edf"};
+    s.sigmas = {1.0 / 3.0, 0.5};
+    s.measure_misses = misses;
+
+    ServeSweep serial(s, 1), parallel(s, 4), rerun(s, 4);
+    const std::string a = emit_everything(serial);
+    EXPECT_EQ(a, emit_everything(parallel)) << "misses=" << misses;
+    EXPECT_EQ(a, emit_everything(rerun)) << "misses=" << misses;
+    EXPECT_EQ(serial.condensations_built(), parallel.condensations_built());
+    // 2 workloads × 2 σ × 2 distinct cache profiles.
+    EXPECT_EQ(serial.condensations_built(), 8u);
+  }
+}
+
+TEST(ServeEngine, ClosedLoopIsDeterministic) {  // V6
+  ServeScenario s;
+  s.closed = serve::parse_arrivals("closed:clients=3,jobs=3,think=500");
+  s.mix = exp::parse_workload_list("mm:n=32;lcs:n=96");
+  s.machines = {"flat16"};
+  s.policies = {"sb", "edf"};
+  ServeSweep serial(s, 1), parallel(s, 4);
+  const std::string a = emit_everything(serial);
+  EXPECT_EQ(a, emit_everything(parallel));
+  ASSERT_EQ(serial.results()[0].jobs.size(), 9u);
+  // Symmetric clients over the same rotation: perfectly fair service.
+  EXPECT_EQ(serial.results()[0].summary.tenants, 3u);
+}
+
+TEST(ServeEngine, PerJobMeasuredMissAttribution) {  // V7
+  // t0 runs the workload cold, repeats it over its own warm lines, then t1
+  // runs the identical workload — cold again, because its footprint keys
+  // live in a different namespace no matter what is resident.
+  ServeScenario s = trace_scenario(
+      "0 t0 mm:n=32\n"
+      "1 t0 mm:n=32\n"
+      "2 t1 mm:n=32\n",
+      "sb");
+  s.measure_misses = true;
+  ServeSweep sweep(s, 1);
+  const auto& cells = sweep.run();
+  ASSERT_EQ(cells[0].jobs.size(), 3u);
+  const auto& j0 = cells[0].jobs[0];
+  const auto& j1 = cells[0].jobs[1];
+  const auto& j2 = cells[0].jobs[2];
+  ASSERT_FALSE(j0.measured_misses.empty());
+  ASSERT_EQ(j1.measured_misses.size(), j0.measured_misses.size());
+
+  double q0 = 0.0, q1 = 0.0, q2 = 0.0;
+  for (std::size_t l = 0; l < j0.measured_misses.size(); ++l) {
+    // Tenant namespacing: t1 can never hit t0's lines, so its first job
+    // measures exactly the cold-start misses j0 did — even though it runs
+    // against caches full of t0's data (those lines are all older than any
+    // of t1's, so LRU evicts them first and t1's own reuse is unchanged).
+    EXPECT_DOUBLE_EQ(j2.measured_misses[l], j0.measured_misses[l]) << l;
+    q0 += j0.measured_misses[l];
+    q1 += j1.measured_misses[l];
+    q2 += j2.measured_misses[l];
+  }
+  // t0's immediate repeat reuses whatever of its own footprint is still
+  // resident — strictly fewer misses than its cold start (on flat16 the
+  // mm:n=32 footprint is fully resident, so the repeat can be miss-free).
+  EXPECT_LT(q1, q0);
+  EXPECT_GT(q0, 0.0);
+
+  // Per-job deltas partition the cell totals exactly.
+  const auto& total = cells[0].summary.measured_misses;
+  ASSERT_EQ(total.size(), j0.measured_misses.size());
+  for (std::size_t l = 0; l < total.size(); ++l)
+    EXPECT_DOUBLE_EQ(total[l], j0.measured_misses[l] +
+                                   j1.measured_misses[l] +
+                                   j2.measured_misses[l])
+        << l;
+  EXPECT_DOUBLE_EQ(cells[0].summary.comm_cost,
+                   j0.comm_cost + j1.comm_cost + j2.comm_cost);
+}
+
+TEST(ServeEngine, ValidationIsLoud) {  // V8
+  ServeScenario s = trace_scenario("0 a mm:n=32\n", "sb");
+  s.policies = {"nope"};
+  EXPECT_NE(check_error_of([&] { ServeSweep(s, 1).run(); }).find("nope"),
+            std::string::npos);
+
+  s = trace_scenario("0 a mm:n=32\n", "sb");
+  s.closed = serve::parse_arrivals("closed:clients=2,jobs=2");
+  s.mix = exp::parse_workload_list("mm:n=32");
+  EXPECT_NE(check_error_of([&] { ServeSweep(s, 1).run(); })
+                .find("both an explicit job stream"),
+            std::string::npos);
+
+  ServeScenario closed_no_mix;
+  closed_no_mix.machines = {"flat16"};
+  closed_no_mix.policies = {"sb"};
+  closed_no_mix.closed = serve::parse_arrivals("closed:clients=2,jobs=2");
+  EXPECT_NE(check_error_of([&] { ServeSweep(closed_no_mix, 1).run(); })
+                .find("non-empty workload mix"),
+            std::string::npos);
+
+  s = trace_scenario("0 a mm:n=32\n", "sb");
+  s.sigmas = {1.5};
+  EXPECT_NE(check_error_of([&] { ServeSweep(s, 1).run(); })
+                .find("outside (0, 1)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndf
