@@ -29,9 +29,15 @@
 //   --jobs=<n>                   cell workers: 0 = hardware concurrency
 //                                (default); output is byte-identical at
 //                                every n
-//   --misses                     simulate LRU occupancy persistently across
-//                                jobs and attribute per-job/per-tenant
-//                                measured Q_i (docs/metrics.md)
+//   --misses                     simulate cache occupancy persistently
+//                                across jobs and attribute per-job/per-
+//                                tenant measured Q_i (docs/metrics.md)
+//   --cache=<spec>               single cache model for the persistent
+//                                occupancy (pmh/cache_model.hpp): a bare
+//                                replacement name or a full cache:repl=...
+//                                spec; default ideal LRU. Not an axis —
+//                                the service caches persist across jobs,
+//                                so one model binds the whole scenario
 //   --json=<path> --csv=<path>   consolidated emitters
 //   --name=<id>                  run id in the outputs
 //   --smoke                      small fixed scenario for CI (fast)
@@ -44,6 +50,7 @@
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "pmh/cache_model.hpp"
 #include "pmh/presets.hpp"
 #include "sched/registry.hpp"
 #include "serve/engine.hpp"
@@ -67,6 +74,10 @@ void list_everything() {
   for (const auto& p : registered_schedulers())
     std::cout << "  " << p.name << (p.deadline_aware ? " [deadline-aware]" : "")
               << " — " << p.description << "\n";
+  std::cout << "\ncache models (--cache=<name or "
+               "cache:repl=,assoc=,line=,excl=,wb=,bw=>, with --misses):\n";
+  for (const auto& c : registered_cache_repls())
+    std::cout << "  " << c.name << " — " << c.description << "\n";
 }
 
 }  // namespace
@@ -76,8 +87,8 @@ int main(int argc, char** argv) {
   bench::reject_unknown_flags(
       args,
       {"trace", "arrivals", "workloads", "machines", "sched", "sigma",
-       "alpha", "seed", "jobs", "misses", "json", "csv", "name", "smoke",
-       "soak", "list"},
+       "alpha", "seed", "jobs", "misses", "cache", "json", "csv", "name",
+       "smoke", "soak", "list"},
       "see the header of ndf_serve.cpp or --list");
   if (args.get("list", false)) {
     list_everything();
@@ -130,6 +141,8 @@ int main(int argc, char** argv) {
   s.alpha_prime = args.get("alpha", 1.0);
   s.base_seed = std::uint64_t(args.get("seed", 42LL));
   s.measure_misses = bench::misses_flag(args);
+  if (args.has("cache"))
+    s.cache_model = parse_cache_model(args.get("cache", std::string()));
   const std::size_t jobs = bench::jobs_flag(args);
 
   const std::string trace = args.get("trace", std::string());

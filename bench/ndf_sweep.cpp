@@ -22,10 +22,18 @@
 //   --jobs=<n>                   grid workers: 0 = hardware concurrency
 //                                (default), 1 = legacy serial path; output
 //                                is byte-identical at every n
-//   --misses                     simulate LRU cache occupancy per run and
+//   --misses                     simulate cache occupancy per run and
 //                                grow comm_cost + Q_L<i> measured-miss
 //                                columns in every emitter (off: legacy
 //                                output, byte-identical)
+//   --cache=<spec;spec;...>      cache-model axis for the measured
+//                                occupancy (pmh/cache_model.hpp): bare
+//                                replacement names ("lru;clock") or full
+//                                "cache:repl=clock,assoc=8,line=64,wb=1,
+//                                bw=0.5,excl=1" specs; default the single
+//                                ideal LRU model. Only meaningful with
+//                                --misses; non-default models add a cache
+//                                column to every emitter
 //   --json=<path> --csv=<path>   consolidated emitters
 //   --dump-dot=<path>            DOT of the first workload's strand DAG
 //                                (nd/dot), then run the sweep as usual
@@ -51,6 +59,7 @@
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
 #include "gen/gen.hpp"
+#include "pmh/cache_model.hpp"
 #include "pmh/presets.hpp"
 #include "sched/registry.hpp"
 
@@ -75,6 +84,11 @@ void list_everything() {
   std::cout << "\npolicies (--sched=<name,...>):\n";
   for (const auto& p : registered_schedulers())
     std::cout << "  " << p.name << " — " << p.description << "\n";
+  std::cout << "\ncache models (--cache=<name or "
+               "cache:repl=,assoc=,line=,excl=,wb=,bw=>[;...], with "
+               "--misses):\n";
+  for (const auto& c : registered_cache_repls())
+    std::cout << "  " << c.name << " — " << c.description << "\n";
 }
 
 }  // namespace
@@ -85,7 +99,7 @@ int main(int argc, char** argv) {
       args,
       {"workloads", "machines", "sched", "sigma", "alpha", "repeat", "seed",
        "jobs", "json", "csv", "name", "smoke", "stress", "list", "dump-dot",
-       "misses", "phase-times"},
+       "misses", "cache", "phase-times"},
       "see the header of ndf_sweep.cpp or --list");
   if (args.get("list", false)) {
     list_everything();
@@ -149,6 +163,8 @@ int main(int argc, char** argv) {
   s.repeats = std::size_t(repeat);
   s.base_seed = std::uint64_t(args.get("seed", 42LL));
   s.measure_misses = bench::misses_flag(args);
+  if (args.has("cache"))
+    s.cache_models = parse_cache_model_list(args.get("cache", std::string()));
   const std::size_t jobs = bench::jobs_flag(args);
 
   NDF_CHECK_MSG(!s.workloads.empty(),

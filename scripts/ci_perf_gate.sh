@@ -6,7 +6,10 @@
 #   1. FAILS if any output (stdout table, JSON, CSV) differs byte-for-byte
 #      between the two: parallel execution must be unobservable in results.
 #      The identity check also covers the smoke grid with and without
-#      --misses (measured LRU counters must be deterministic too).
+#      --misses (measured LRU counters must be deterministic too), and the
+#      default cache model: --misses with an explicit --cache=lru must be
+#      byte-identical to no --cache flag at all (the registry must not
+#      perturb the ideal-LRU default).
 #   2. Records best-of-3 wall-clock for both runs, the speedup, and each
 #      run's peak RSS into BENCH_sweep_parallel.json (uploaded as a CI
 #      artifact, so the parallel-efficiency and memory trajectories are
@@ -90,23 +93,35 @@ check_identical() { # <prefix-a> <prefix-b> <label>
   local a=$1 b=$2 label=$3 ext
   for ext in txt json csv; do
     if ! cmp -s "$OUT/$a.$ext" "$OUT/$b.$ext"; then
-      echo "FAIL: $label: --jobs=1 and --jobs=$JOBS .$ext output differ:" >&2
+      echo "FAIL: $label: .$ext output differs:" >&2
       diff "$OUT/$a.$ext" "$OUT/$b.$ext" | head -20 >&2
       exit 1
     fi
   done
-  echo "OK: $label output byte-identical at --jobs=1 and --jobs=$JOBS"
+  echo "OK: $label output byte-identical"
 }
 
 # --- determinism gate on the smoke grid (the one CI runs everywhere) ----
 run_grid 1 smoke-serial --smoke
 run_grid "$JOBS" smoke-parallel --smoke
-check_identical smoke-serial smoke-parallel "smoke grid"
+check_identical smoke-serial smoke-parallel \
+    "smoke grid, --jobs=1 vs --jobs=$JOBS"
 
 # --- measured-miss counters: deterministic across --jobs too ------------
 run_grid 1 misses-serial --smoke --misses
 run_grid "$JOBS" misses-parallel --smoke --misses
-check_identical misses-serial misses-parallel "smoke grid with --misses"
+check_identical misses-serial misses-parallel \
+    "smoke grid with --misses, --jobs=1 vs --jobs=$JOBS"
+
+# --- default cache model: the registry must not perturb the default -----
+# An explicit --cache=lru parses to the default model, so its output must
+# be byte-identical to the same run with no --cache flag at all: no cache
+# column appears and every measured counter matches. This is the gate on
+# the cache-model registry's "default stays ideal LRU" contract
+# (docs/cache-models.md).
+run_grid 1 misses-lru --smoke --misses --cache=lru
+check_identical misses-serial misses-lru \
+    "smoke grid with --misses, default vs explicit --cache=lru"
 
 # --- Theorem 1 gate + cache-miss trajectory artifact --------------------
 # bench_cache_miss exits non-zero if any space-bounded run's measured Q_i
@@ -127,11 +142,13 @@ echo "OK: Theorem 1 held for all space-bounded runs (BENCH_cache_miss.json)"
 : > "$OUT/timings.txt"
 time_grid 1 gate-serial gate "${GATE_ARGS[@]}"
 time_grid "$JOBS" gate-parallel gate "${GATE_ARGS[@]}"
-check_identical gate-serial gate-parallel "perf grid"
+check_identical gate-serial gate-parallel \
+    "perf grid, --jobs=1 vs --jobs=$JOBS"
 
 time_grid 1 stress-serial stress "${STRESS_ARGS[@]}"
 time_grid "$JOBS" stress-parallel stress "${STRESS_ARGS[@]}"
-check_identical stress-serial stress-parallel "stress grid"
+check_identical stress-serial stress-parallel \
+    "stress grid, --jobs=1 vs --jobs=$JOBS"
 
 python3 - "$OUT/timings.txt" "$JOBS" "$MIN_SPEEDUP" "$STRESS_REPEAT" \
     "$BUILD_DIR/BENCH_sweep_parallel.json" <<'EOF'

@@ -28,6 +28,25 @@ std::size_t max_measured_levels(const std::vector<RunPoint>& runs) {
   return L;
 }
 
+/// Whether any run measured under a non-default cache model. Gate for the
+/// `cache` column/key: an all-default sweep (including every legacy sweep,
+/// with or without --misses) emits byte-identical output to the
+/// pre-registry emitters.
+bool any_cache_model(const std::vector<RunPoint>& runs) {
+  for (const RunPoint& r : runs)
+    if (!r.cache.is_default()) return true;
+  return false;
+}
+
+/// Deepest write-back vector (non-empty only for wb > 0 models), gating the
+/// write-back columns the same way measured_misses gates the Q columns.
+std::size_t max_writeback_levels(const std::vector<RunPoint>& runs) {
+  std::size_t L = 0;
+  for (const RunPoint& r : runs)
+    L = std::max(L, r.stats.measured_writebacks.size());
+  return L;
+}
+
 }  // namespace
 
 namespace detail {
@@ -84,10 +103,13 @@ Table results_table(const std::string& title,
                     const std::vector<RunPoint>& runs) {
   const std::size_t L = max_levels(runs);
   const std::size_t Q = max_measured_levels(runs);
+  const bool C = any_cache_model(runs);
+  const std::size_t W = max_writeback_levels(runs);
   Table t(title);
   std::vector<std::string> header{"workload", "machine", "policy", "sigma",
                                   "alpha'",   "rep",     "makespan",
                                   "miss_cost", "util"};
+  if (C) header.insert(header.begin() + 3, "cache");
   for (std::size_t l = 1; l <= L; ++l)
     header.push_back("misses_L" + std::to_string(l));
   header.push_back("anchors");
@@ -99,13 +121,17 @@ Table results_table(const std::string& title,
     for (std::size_t l = 1; l <= Q; ++l)
       header.push_back("Q_L" + std::to_string(l));
   }
+  // Write-back columns, only when some model billed eviction traffic.
+  for (std::size_t l = 1; l <= W; ++l)
+    header.push_back("WB_L" + std::to_string(l));
   t.set_header(std::move(header));
   for (const RunPoint& r : runs) {
     std::vector<Cell> row;
-    row.reserve(11 + L + (Q > 0 ? Q + 1 : 0));
+    row.reserve(12 + L + (Q > 0 ? Q + 1 : 0) + W);
     row.push_back(r.workload.label());
     row.push_back(r.machine);
     row.push_back(r.policy);
+    if (C) row.push_back(r.cache.label());
     row.push_back(r.sigma);
     row.push_back(r.alpha_prime);
     row.push_back((long long)r.repeat);
@@ -130,6 +156,11 @@ Table results_table(const std::string& title,
         else
           row.push_back(std::string("-"));
     }
+    for (std::size_t l = 0; l < W; ++l)
+      if (l < r.stats.measured_writebacks.size())
+        row.push_back(r.stats.measured_writebacks[l]);
+      else
+        row.push_back(std::string("-"));
     t.add_row(std::move(row));
   }
   return t;
@@ -148,7 +179,12 @@ void write_sweep_json(std::ostream& os, const std::string& name,
        << ", \"np\": " << (r.workload.np ? "true" : "false")
        << ", \"machine\": \"" << json_escape(r.machine)
        << "\", \"machine_desc\": \"" << json_escape(r.machine_desc)
-       << "\", \"policy\": \"" << json_escape(r.policy) << "\", \"sigma\": ";
+       << "\", \"policy\": \"" << json_escape(r.policy) << "\"";
+    // Cache-model key only for non-default models: all-default documents
+    // (every legacy sweep) stay byte-identical.
+    if (!r.cache.is_default())
+      os << ", \"cache\": \"" << json_escape(r.cache.label()) << "\"";
+    os << ", \"sigma\": ";
     write_number(os, r.sigma);
     os << ", \"alpha_prime\": ";
     write_number(os, r.alpha_prime);
@@ -180,6 +216,20 @@ void write_sweep_json(std::ostream& os, const std::string& name,
         write_number(os, r.stats.measured_misses[l]);
       }
       os << "]";
+      // Write-back / contention keys only when the model billed them —
+      // default-model documents keep the legacy shape.
+      if (!r.stats.measured_writebacks.empty()) {
+        os << ", \"measured_writebacks\": [";
+        for (std::size_t l = 0; l < r.stats.measured_writebacks.size(); ++l) {
+          if (l) os << ", ";
+          write_number(os, r.stats.measured_writebacks[l]);
+        }
+        os << "]";
+      }
+      if (r.cache.bw > 0.0) {
+        os << ", \"contention_cost\": ";
+        write_number(os, r.stats.contention_cost);
+      }
     }
     os << "}}";
   }
@@ -190,7 +240,11 @@ void write_sweep_csv(std::ostream& os, const std::vector<RunPoint>& runs) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   const std::size_t L = max_levels(runs);
   const std::size_t Q = max_measured_levels(runs);
-  os << "workload,algo,n,base,np,machine,policy,sigma,alpha_prime,repeat,"
+  const bool C = any_cache_model(runs);
+  const std::size_t W = max_writeback_levels(runs);
+  os << "workload,algo,n,base,np,machine,policy,";
+  if (C) os << "cache,";
+  os << "sigma,alpha_prime,repeat,"
         "seed,makespan,total_work,miss_cost,utilization,atomic_units,"
         "anchors,steals";
   for (std::size_t l = 1; l <= L; ++l) os << ",misses_l" << l;
@@ -198,12 +252,15 @@ void write_sweep_csv(std::ostream& os, const std::vector<RunPoint>& runs) {
     os << ",comm_cost";
     for (std::size_t l = 1; l <= Q; ++l) os << ",q_l" << l;
   }
+  for (std::size_t l = 1; l <= W; ++l) os << ",wb_l" << l;
   os << "\n";
   for (const RunPoint& r : runs) {
     os << csv_field(r.workload.label()) << ',' << r.workload.algo << ','
        << r.workload.n << ',' << r.workload.base << ','
        << (r.workload.np ? 1 : 0) << ',' << csv_field(r.machine) << ','
-       << r.policy << ',' << r.sigma << ','
+       << r.policy << ',';
+    if (C) os << csv_field(r.cache.label()) << ',';
+    os << r.sigma << ','
        << r.alpha_prime << ',' << r.repeat << ',' << r.seed << ','
        << r.stats.makespan << ',' << r.stats.total_work << ','
        << r.stats.miss_cost << ',' << r.stats.utilization << ','
@@ -221,6 +278,11 @@ void write_sweep_csv(std::ostream& os, const std::vector<RunPoint>& runs) {
         if (l < r.stats.measured_misses.size())
           os << r.stats.measured_misses[l];
       }
+    }
+    for (std::size_t l = 0; l < W; ++l) {
+      os << ',';
+      if (l < r.stats.measured_writebacks.size())
+        os << r.stats.measured_writebacks[l];
     }
     os << "\n";
   }

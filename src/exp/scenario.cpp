@@ -8,7 +8,8 @@ namespace ndf::exp {
 
 std::size_t grid_size(const Scenario& s) {
   return s.workloads.size() * s.sigmas.size() * s.machines.size() *
-         s.alpha_primes.size() * s.policies.size() * s.repeats;
+         s.cache_models.size() * s.alpha_primes.size() * s.policies.size() *
+         s.repeats;
 }
 
 std::vector<GridPoint> expand_grid(const Scenario& s) {
@@ -17,10 +18,11 @@ std::vector<GridPoint> expand_grid(const Scenario& s) {
   for (std::size_t w = 0; w < s.workloads.size(); ++w)
     for (std::size_t g = 0; g < s.sigmas.size(); ++g)
       for (std::size_t m = 0; m < s.machines.size(); ++m)
-        for (std::size_t a = 0; a < s.alpha_primes.size(); ++a)
-          for (std::size_t p = 0; p < s.policies.size(); ++p)
-            for (std::size_t r = 0; r < s.repeats; ++r)
-              out.push_back({w, g, m, a, p, r});
+        for (std::size_t c = 0; c < s.cache_models.size(); ++c)
+          for (std::size_t a = 0; a < s.alpha_primes.size(); ++a)
+            for (std::size_t p = 0; p < s.policies.size(); ++p)
+              for (std::size_t r = 0; r < s.repeats; ++r)
+                out.push_back({w, g, m, c, a, p, r});
   return out;
 }
 
@@ -41,6 +43,13 @@ void validate(const Scenario& s) {
     NDF_CHECK_MSG(scheduler_registered(p),
                   "scenario '" << s.name << "' names unknown policy '" << p
                                << "'");
+  NDF_CHECK_MSG(!s.cache_models.empty(),
+                "scenario '" << s.name << "' has no cache models");
+  for (const CacheModelSpec& cm : s.cache_models)
+    NDF_CHECK_MSG(cache_repl_registered(cm.repl),
+                  "scenario '" << s.name
+                               << "' names unknown cache replacement policy '"
+                               << cm.repl << "' (in '" << cm.label() << "')");
   // Machine specs fail here, at validation time, with the parser's message
   // (unknown preset/family/key) rather than mid-construction.
   for (const std::string& spec : s.machines) (void)parse_pmh(spec);
@@ -101,6 +110,7 @@ SchedOptions point_options(const Scenario& s, const GridPoint& g) {
   o.alpha_prime = s.alpha_primes[g.alpha];
   o.charge_misses = s.charge_misses;
   o.measure_misses = s.measure_misses;
+  o.cache_model = s.cache_models[g.cache];
   o.steal_cost = s.steal_cost;
   o.seed = s.base_seed + g.repeat;
   return o;

@@ -1,12 +1,16 @@
 // Declarative sweep description: the full experiment grid
 //
-//   workloads × sigmas × machines × alpha' × policies × repeats
+//   workloads × sigmas × machines × cache models × alpha' × policies ×
+//   repeats
 //
 // and its deterministic expansion order. The order is chosen so that
 // everything sharing one condensation (a workload at a σ, across machines
-// with the same cache-size profile, all policies, all repeats) is
-// contiguous — the Sweep runner walks the expansion linearly and builds
-// each CondensedDag exactly once.
+// with the same cache-size profile, all cache models, all policies, all
+// repeats) is contiguous — the Sweep runner walks the expansion linearly
+// and builds each CondensedDag exactly once. Cache models are deliberately
+// *absent* from the condensation dedup key: a condensation depends only on
+// the cache-size profile, so sweeping replacement policies multiplies the
+// grid without multiplying the dags.
 #pragma once
 
 #include <cstdint>
@@ -32,10 +36,15 @@ struct Scenario {
   std::size_t repeats = 1;        ///< seed axis: seeds base_seed..+repeats-1
   std::uint64_t base_seed = 42;   ///< seed of repeat 0
   bool charge_misses = true;
-  /// Simulate LRU cache occupancy in every run and report measured Q_i /
+  /// Simulate cache occupancy in every run and report measured Q_i /
   /// comm_cost (extra columns in every emitter). Off by default: legacy
   /// sweep output stays byte-identical unless asked for (`--misses`).
   bool measure_misses = false;
+  /// Cache-model axis for the measured occupancy (`--cache=` specs,
+  /// pmh/cache_model.hpp). Defaults to the single ideal LRU model, which
+  /// keeps grid size, expansion order and emitter output byte-identical
+  /// to a scenario without the axis. Only meaningful with measure_misses.
+  std::vector<CacheModelSpec> cache_models{CacheModelSpec{}};
   double steal_cost = 0.0;
 };
 
@@ -45,22 +54,24 @@ struct GridPoint {
   std::size_t workload = 0;
   std::size_t sigma = 0;
   std::size_t machine = 0;
+  std::size_t cache = 0;  ///< index into scenario.cache_models
   std::size_t alpha = 0;
   std::size_t policy = 0;
   std::size_t repeat = 0;
 };
 
-/// |workloads| · |sigmas| · |machines| · |alpha_primes| · |policies| ·
-/// repeats.
+/// |workloads| · |sigmas| · |machines| · |cache_models| · |alpha_primes| ·
+/// |policies| · repeats.
 std::size_t grid_size(const Scenario& s);
 
 /// Expands the grid in condensation-friendly order: workload-major, then
-/// sigma, machine, alpha', policy, repeat (innermost).
+/// sigma, machine, cache model, alpha', policy, repeat (innermost).
 std::vector<GridPoint> expand_grid(const Scenario& s);
 
-/// Checks every axis is non-empty and every policy name is registered.
-/// (Workload and machine specs are validated by their parsers when the
-/// scenario is built from strings.) Throws CheckError otherwise.
+/// Checks every axis is non-empty, every policy name is registered, and
+/// every cache model names a registered replacement policy. (Workload and
+/// machine specs are validated by their parsers when the scenario is built
+/// from strings.) Throws CheckError otherwise.
 void validate(const Scenario& s);
 
 /// Scheduler options for one grid point.
@@ -94,6 +105,7 @@ struct RunPoint {
   std::string machine;       ///< the spec string the scenario named
   std::string machine_desc;  ///< Pmh::to_string() of the built machine
   std::string policy;
+  CacheModelSpec cache;      ///< cache model the run measured under
   double sigma = 1.0 / 3.0;
   double alpha_prime = 1.0;
   std::size_t repeat = 0;

@@ -30,6 +30,7 @@ RunPoint make_run_point(const Scenario& s, const GridPoint& g, const Pmh& m,
   pt.machine = s.machines[g.machine];
   pt.machine_desc = m.to_string();
   pt.policy = s.policies[g.policy];
+  pt.cache = s.cache_models[g.cache];
   pt.sigma = opts.sigma;
   pt.alpha_prime = opts.alpha_prime;
   pt.repeat = g.repeat;

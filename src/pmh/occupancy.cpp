@@ -1,105 +1,168 @@
 #include "pmh/occupancy.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ndf {
 
-CacheOccupancy::CacheOccupancy(const Pmh& machine) {
+CacheOccupancy::CacheOccupancy(const Pmh& machine, const CacheModelSpec& model)
+    : model_(model), repl_(make_cache_repl(model.repl)) {
   const std::size_t L = machine.num_cache_levels();
   caches_.resize(L);
   misses_.assign(L, 0.0);
-  capacity_.resize(L);
+  writebacks_.assign(L, 0.0);
+  contention_.assign(L, 0.0);
+  set_capacity_.resize(L);
+  nsets_.resize(L);
   for (std::size_t l = 1; l <= L; ++l) {
+    const double capacity = machine.cache_size(l);
+    // assoc A at line W splits the cache into ⌊M/(A·W)⌋ sets of A·W words
+    // each; anything that would make zero sets collapses to one set over
+    // the whole capacity (== fully associative).
+    std::size_t n = 1;
+    if (model_.assoc > 0) {
+      const double way_bytes = double(model_.assoc) * model_.effective_line();
+      n = std::max<std::size_t>(1, std::size_t(capacity / way_bytes));
+    }
+    nsets_[l - 1] = n;
+    set_capacity_[l - 1] = capacity / double(n);
     caches_[l - 1].resize(machine.num_caches(l));
-    capacity_[l - 1] = machine.cache_size(l);
+    for (Cache& c : caches_[l - 1]) c.sets.resize(n);
   }
 }
 
 void CacheOccupancy::reset() {
   for (auto& level : caches_)
-    for (Cache& c : level) {
-      c.entries.clear();
-      c.used = 0.0;
-    }
+    for (Cache& c : level)
+      for (Set& s : c.sets) {
+        s.entries.clear();
+        s.used = 0.0;
+        s.hand = 0;
+      }
   std::fill(misses_.begin(), misses_.end(), 0.0);
+  std::fill(writebacks_.begin(), writebacks_.end(), 0.0);
+  std::fill(contention_.begin(), contention_.end(), 0.0);
   clock_ = 0;
 }
 
-CacheOccupancy::Cache& CacheOccupancy::at(std::size_t level,
-                                          std::size_t cache) {
-  NDF_DCHECK(level >= 1 && level <= caches_.size());
-  NDF_DCHECK(cache < caches_[level - 1].size());
-  return caches_[level - 1][cache];
+double CacheOccupancy::charged(double size) const {
+  const double line = model_.effective_line();
+  if (line <= 0.0) return size;
+  return std::ceil(size / line) * line;
 }
 
-CacheOccupancy::Entry* CacheOccupancy::find(Cache& c, std::int64_t task) {
-  for (Entry& e : c.entries)
+CacheOccupancy::Set& CacheOccupancy::set_for(std::size_t level,
+                                             std::size_t cache,
+                                             std::int64_t task) {
+  NDF_DCHECK(level >= 1 && level <= caches_.size());
+  NDF_DCHECK(cache < caches_[level - 1].size());
+  Cache& c = caches_[level - 1][cache];
+  const std::size_t n = nsets_[level - 1];
+  // Footprint keys are non-negative (decomposition index + 2^32-aligned
+  // namespace base); consecutive indices spread evenly across sets.
+  return c.sets[n == 1 ? 0 : std::size_t(std::uint64_t(task) % n)];
+}
+
+CacheEntry* CacheOccupancy::find(Set& s, std::int64_t task) {
+  for (CacheEntry& e : s.entries)
     if (e.task == task) return &e;
   return nullptr;
 }
 
-void CacheOccupancy::make_room(Cache& c, double capacity, double incoming) {
-  while (c.used + incoming > capacity) {
-    // Oldest unpinned entry; stable scan order keeps ties deterministic
-    // (last_use values are unique anyway — the clock bumps per touch).
-    std::size_t victim = c.entries.size();
-    for (std::size_t i = 0; i < c.entries.size(); ++i)
-      if (!c.entries[i].pinned &&
-          (victim == c.entries.size() ||
-           c.entries[i].last_use < c.entries[victim].last_use))
-        victim = i;
-    if (victim == c.entries.size()) return;  // only pinned entries left
-    c.used -= c.entries[victim].size;
-    c.entries.erase(c.entries.begin() + victim);
+void CacheOccupancy::make_room(Set& s, std::size_t level, double incoming) {
+  const double capacity = set_capacity_[level - 1];
+  while (s.used + incoming > capacity) {
+    const std::size_t v = repl_->victim(s.entries, s.hand);
+    if (v == s.entries.size()) return;  // only pinned entries left
+    const CacheEntry& victim = s.entries[v];
+    // Evicting loaded (dirty-assumed) data costs write-back traffic;
+    // dropping a never-loaded reservation moves nothing.
+    if (victim.resident) writebacks_[level - 1] += model_.wb * victim.size;
+    s.used -= victim.size;
+    s.entries.erase(s.entries.begin() + v);
+    // The erase shifted entries after v down one; keep the clock hand on
+    // the element it pointed at (or wrap when the tail was evicted).
+    if (s.hand > v) --s.hand;
+    if (s.hand >= s.entries.size()) s.hand = 0;
   }
 }
 
 double CacheOccupancy::touch(std::size_t level, std::size_t cache,
-                             std::int64_t task, double size) {
-  Cache& c = at(level, cache);
-  Entry* e = find(c, task);
+                             std::int64_t task, double size,
+                             std::size_t sharers) {
+  Set& s = set_for(level, cache, task);
+  CacheEntry* e = find(s, task);
   if (e && e->resident) {
-    e->last_use = ++clock_;
+    repl_->touched(*e, ++clock_);
     return 0.0;  // hit
   }
+  const double csize = charged(size);
   if (e) {
     // Pinned reservation, first actual use: the load happens now.
     e->resident = true;
-    e->last_use = ++clock_;
+    repl_->touched(*e, ++clock_);
   } else {
-    make_room(c, capacity_[level - 1], size);
-    c.entries.push_back(Entry{task, size, true, false, ++clock_});
-    c.used += size;
+    make_room(s, level, csize);
+    CacheEntry fresh;
+    fresh.task = task;
+    fresh.size = csize;
+    fresh.resident = true;
+    s.entries.push_back(fresh);
+    s.used += csize;
+    CacheEntry& back = s.entries.back();
+    back.loaded_at = ++clock_;
+    repl_->touched(back, clock_);
   }
-  misses_[level - 1] += size;
-  return size;
+  misses_[level - 1] += csize;
+  if (sharers > 0)
+    contention_[level - 1] += model_.bw * double(sharers) * csize;
+  return csize;
 }
 
-void CacheOccupancy::pin(std::size_t level, std::size_t cache, std::int64_t task,
-                         double size) {
-  Cache& c = at(level, cache);
-  if (Entry* e = find(c, task)) {
+void CacheOccupancy::pin(std::size_t level, std::size_t cache,
+                         std::int64_t task, double size) {
+  NDF_CHECK_MSG(repl_->honors_pinning(),
+                "cache model '" << model_.label()
+                                << "': replacement policy '" << repl_->name()
+                                << "' cannot honor pin/unpin reservations "
+                                   "(required by the sb policy; pick a "
+                                   "policy that honors pinning or a "
+                                   "reservation-free scheduler)");
+  Set& s = set_for(level, cache, task);
+  if (CacheEntry* e = find(s, task)) {
     e->pinned = true;
     return;
   }
   // Reserve capacity now (the boundedness invariant the caller maintains
-  // guarantees pinned reservations fit); count the load on first touch.
-  make_room(c, capacity_[level - 1], size);
-  c.entries.push_back(Entry{task, size, false, true, ++clock_});
-  c.used += size;
+  // guarantees pinned reservations fit the cache; with associativity the
+  // *set* may transiently overfill — see occupancy.hpp); count the load on
+  // first touch.
+  const double csize = charged(size);
+  make_room(s, level, csize);
+  CacheEntry fresh;
+  fresh.task = task;
+  fresh.size = csize;
+  fresh.pinned = true;
+  s.entries.push_back(fresh);
+  s.used += csize;
+  CacheEntry& back = s.entries.back();
+  back.loaded_at = ++clock_;
+  repl_->touched(back, clock_);
 }
 
 void CacheOccupancy::unpin(std::size_t level, std::size_t cache,
                            std::int64_t task) {
-  Cache& c = at(level, cache);
-  for (std::size_t i = 0; i < c.entries.size(); ++i) {
-    Entry& e = c.entries[i];
+  Set& s = set_for(level, cache, task);
+  for (std::size_t i = 0; i < s.entries.size(); ++i) {
+    CacheEntry& e = s.entries[i];
     if (e.task != task) continue;
     e.pinned = false;
     if (!e.resident) {
       // Reserved but never loaded: free the capacity, leave no stale entry.
-      c.used -= e.size;
-      c.entries.erase(c.entries.begin() + i);
+      s.used -= e.size;
+      s.entries.erase(s.entries.begin() + i);
+      if (s.hand > i) --s.hand;
+      if (s.hand >= s.entries.size()) s.hand = 0;
     }
     return;
   }

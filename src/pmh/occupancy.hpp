@@ -1,12 +1,16 @@
 // Simulated cache-occupancy state for a PMH: the *measured* side of the
 // paper's Theorem 1. Every level-l cache tracks which maximal-task
-// footprints are resident, with LRU replacement over the cache's full
-// capacity Ml, and counts the words actually (re)loaded — the per-level
-// miss totals Q_i that the analytical bound Q*(t; σMi) (analysis/pcc)
-// promises to dominate for space-bounded executions.
+// footprints are resident under a pluggable cache model (pmh/cache_model.hpp
+// — replacement policy, associativity, line granularity, write-back and
+// contention costs) and counts the words actually (re)loaded — the
+// per-level miss totals Q_i that the analytical bound Q*(t; σMi)
+// (analysis/pcc) promises to dominate for space-bounded executions. The
+// default model is whole-capacity fully-associative LRU, byte-identical to
+// the paper's ideal (and to this layer before the model was pluggable).
 //
-// The unit of residency is a level-l maximal task's footprint (s(t) words),
-// the same granularity both existing cache *charge* models use (DESIGN.md,
+// The unit of residency is a level-l maximal task's footprint (s(t) words,
+// rounded up to the model's line granularity when one is set), the same
+// granularity both existing cache *charge* models use (DESIGN.md,
 // "Cache-miss accounting"): the simulator has no per-word addresses for the
 // transcribed kernels, only the spawn tree's size annotations, so the
 // working set resident in a cache is modeled as a set of task footprints.
@@ -15,14 +19,21 @@
 // its footprint's capacity for the task's lifetime (the boundedness
 // invariant keeps the pinned total ≤ σMl ≤ Ml), so a pinned footprint is
 // never evicted and is loaded at most once — which is exactly why the
-// measured Q_i of an sb run sits below Q*(σMi). Policies without
-// reservations (ws, greedy, serial) leave everything unpinned and pay
-// reloads whenever LRU pressure evicts a footprint they come back to.
+// measured Q_i of an sb run sits below Q*(σMi). Every builtin replacement
+// policy honors reservations (victim scans skip pinned entries); a
+// registered policy that cannot must say so via honors_pinning(), and
+// pin() then fails loudly naming the model. Policies without reservations
+// (ws, greedy, serial) leave everything unpinned and pay reloads whenever
+// replacement pressure evicts a footprint they come back to. With set
+// associativity, a pinned reservation may transiently overfill its *set*
+// (boundedness is a whole-cache invariant); eviction simply stops when
+// only pinned entries remain, so reservations are still never broken.
 //
 // Determinism: recency is a monotone counter bumped per touch, eviction
-// scans are in stable entry order, and the layer is driven only from the
-// (deterministic) simulation event loop — so measured counters are
-// bit-identical across runs, processes and sweep `--jobs` values.
+// scans are in stable entry order (the clock hand is per-set state), and
+// the layer is driven only from the (deterministic) simulation event loop —
+// so measured counters are bit-identical across runs, processes and sweep
+// `--jobs` values, for every model.
 //
 // Footprint keys are 64-bit so a caller multiplexing several DAGs through
 // one machine (the service mode, src/serve/) can namespace each job's
@@ -32,39 +43,54 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "pmh/cache_model.hpp"
 #include "pmh/machine.hpp"
 
 namespace ndf {
 
 class CacheOccupancy {
  public:
-  explicit CacheOccupancy(const Pmh& machine);
+  /// Shapes the layer for `machine` under `model` (default: the ideal LRU
+  /// model). The replacement policy is instantiated from the cache-model
+  /// registry once, here.
+  explicit CacheOccupancy(const Pmh& machine,
+                          const CacheModelSpec& model = {});
 
-  /// Empties every cache and zeroes all miss counters and the recency
-  /// clock, as if freshly constructed for the same machine — but entry
+  /// The model this instance simulates (immutable after construction —
+  /// SimCore rebuilds the instance when the spec changes).
+  const CacheModelSpec& model() const { return model_; }
+
+  /// Empties every cache and zeroes all counters and the recency clock, as
+  /// if freshly constructed for the same machine and model — but entry
   /// vectors keep their capacity, so a reused instance allocates nothing
   /// in steady state (SimCore::reset cycles one instance per run).
   void reset();
 
   /// Runs footprint `task` (a level-`level` decomposition index) of `size`
-  /// words through the level-`level` cache `cache`: a hit refreshes
-  /// recency and returns 0; a miss loads the footprint (evicting unpinned
-  /// LRU entries down to capacity), adds `size` to the level's miss total,
-  /// and returns `size`.
+  /// words through the level-`level` cache `cache`: a hit refreshes the
+  /// policy's reference state and returns 0; a miss loads the footprint
+  /// (evicting unpinned entries per the replacement policy down to
+  /// capacity), adds the line-quantized size to the level's miss total,
+  /// and returns it. `sharers` is the number of other processors busy
+  /// under this cache right now — a miss with k sharers adds bw·k·size
+  /// contention traffic (0 unless the model sets bw).
   double touch(std::size_t level, std::size_t cache, std::int64_t task,
-               double size);
+               double size, std::size_t sharers = 0);
 
   /// Reserves capacity for `task` in `cache` and protects it from
   /// eviction. Reservation does not count misses — the load is counted by
   /// the first touch(), so a pinned-but-never-run footprint costs nothing.
+  /// Throws CheckError if the model's replacement policy declared itself
+  /// unable to honor reservations (ReplacementPolicy::honors_pinning).
   void pin(std::size_t level, std::size_t cache, std::int64_t task,
            double size);
 
-  /// Drops the reservation. A resident footprint stays as a normal LRU
-  /// entry (stale data lingers until evicted); a never-loaded one frees
-  /// its reserved capacity immediately.
+  /// Drops the reservation. A resident footprint stays as a normal entry
+  /// (stale data lingers until evicted); a never-loaded one frees its
+  /// reserved capacity immediately.
   void unpin(std::size_t level, std::size_t cache, std::int64_t task);
 
   /// Measured level-`level` misses so far, summed over the level's caches
@@ -74,28 +100,45 @@ class CacheOccupancy {
   /// misses(l) for l = 1..num_cache_levels, in level order.
   const std::vector<double>& level_misses() const { return misses_; }
 
+  /// Write-back traffic per level: wb · size words for every *resident*
+  /// footprint evicted at that level (all-zero unless the model sets wb).
+  /// Not part of Q_i — eviction traffic, not reload traffic.
+  const std::vector<double>& level_writebacks() const { return writebacks_; }
+
+  /// Shared-bandwidth contention traffic per level: bw · sharers · size
+  /// words per miss (all-zero unless the model sets bw). Not part of Q_i.
+  const std::vector<double>& level_contention() const { return contention_; }
+
  private:
-  struct Entry {
-    std::int64_t task = -1;
-    double size = 0.0;
-    bool resident = false;  ///< footprint loaded (occupies *and* counted)
-    bool pinned = false;    ///< reserved by an anchored task: not evictable
-    std::uint64_t last_use = 0;
+  /// One associativity set: with the default fully-associative model each
+  /// cache has exactly one set spanning its whole capacity.
+  struct Set {
+    std::vector<CacheEntry> entries;
+    double used = 0.0;      ///< Σ size over entries (resident or reserved)
+    std::size_t hand = 0;   ///< clock-policy hand position
   };
   struct Cache {
-    std::vector<Entry> entries;
-    double used = 0.0;  ///< Σ size over entries (resident or reserved)
+    std::vector<Set> sets;
   };
 
-  Cache& at(std::size_t level, std::size_t cache);
-  Entry* find(Cache& c, std::int64_t task);
-  /// Evicts unpinned entries, least recent first, until `c.used + incoming`
-  /// fits in `capacity` (or only pinned entries remain).
-  void make_room(Cache& c, double capacity, double incoming);
+  /// Footprint size as the model charges it: rounded up to the effective
+  /// line granularity when one is set.
+  double charged(double size) const;
+  Set& set_for(std::size_t level, std::size_t cache, std::int64_t task);
+  CacheEntry* find(Set& s, std::int64_t task);
+  /// Evicts per the replacement policy until `s.used + incoming` fits in
+  /// the set's capacity (or only pinned entries remain), charging
+  /// write-back traffic for resident victims.
+  void make_room(Set& s, std::size_t level, double incoming);
 
+  CacheModelSpec model_;
+  std::unique_ptr<ReplacementPolicy> repl_;
   std::vector<std::vector<Cache>> caches_;  ///< caches_[l-1][cache index]
   std::vector<double> misses_;              ///< misses_[l-1]
-  std::vector<double> capacity_;            ///< Ml per level
+  std::vector<double> writebacks_;          ///< writebacks_[l-1]
+  std::vector<double> contention_;          ///< contention_[l-1]
+  std::vector<double> set_capacity_;        ///< per level: Ml / nsets
+  std::vector<std::size_t> nsets_;          ///< per level: sets per cache
   std::uint64_t clock_ = 0;
 };
 

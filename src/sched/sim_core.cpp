@@ -62,15 +62,17 @@ void SimCore::init_run_state() {
   stats_.misses.assign(num_levels(), 0.0);
 
   if (opts_.measure_misses) {
-    // The occupancy layer's shape depends only on the machine: reuse the
-    // existing instance (cleared, capacity kept) while the binding holds.
-    // Service mode additionally keeps the *contents* across runs
-    // (keep_occupancy): consecutive jobs on one machine then contend for
-    // the same simulated lines, and the reported counters are cumulative.
-    if (occ_ && occ_machine_ == m_) {
+    // The occupancy layer's shape depends only on the machine and the
+    // cache-model spec: reuse the existing instance (cleared, capacity
+    // kept) while both bindings hold. Service mode additionally keeps the
+    // *contents* across runs (keep_occupancy): consecutive jobs on one
+    // machine then contend for the same simulated lines, and the reported
+    // counters are cumulative — that persistence also hinges on the model
+    // binding, so a cache-model change always starts a cold instance.
+    if (occ_ && occ_machine_ == m_ && occ_->model() == opts_.cache_model) {
       if (!opts_.keep_occupancy) occ_->reset();
     } else {
-      occ_ = std::make_unique<CacheOccupancy>(*m_);
+      occ_ = std::make_unique<CacheOccupancy>(*m_, opts_.cache_model);
       occ_machine_ = m_;
     }
   } else {
@@ -90,11 +92,29 @@ void SimCore::unpin_footprint(std::size_t level, std::size_t cache,
   if (occ_) occ_->unpin(level, cache, opts_.occ_task_base + task);
 }
 
+std::size_t SimCore::busy_sharers(std::size_t proc, std::size_t level) const {
+  // events_ holds exactly the in-flight assignments; this unit's own event
+  // is pushed after touch_unit, so every entry is a concurrent *other*.
+  const std::size_t cache = m_->cache_above(proc, level);
+  std::size_t n = 0;
+  for (const Ev& e : events_)
+    if (m_->cache_above(e.proc, level) == cache) ++n;
+  return n;
+}
+
 void SimCore::touch_unit(std::size_t proc, int u) {
+  const CacheModelSpec& model = occ_->model();
   for (std::size_t l = 1; l <= num_levels(); ++l) {
     const int t = dag_->unit_task(l, u);
-    occ_->touch(l, m_->cache_above(proc, l), opts_.occ_task_base + t,
-                dag_->task_size(l, t));
+    const std::size_t sharers =
+        model.bw > 0.0 ? busy_sharers(proc, l) : 0;
+    const double miss =
+        occ_->touch(l, m_->cache_above(proc, l), opts_.occ_task_base + t,
+                    dag_->task_size(l, t), sharers);
+    // Exclusive levels: a hit means the unit is served from this (or an
+    // inner) cache, so the outer levels see no traffic and no recency
+    // update — resident data is not duplicated outward.
+    if (model.exclusive && miss == 0.0) break;
   }
 }
 
@@ -260,6 +280,22 @@ SchedStats SimCore::run(Scheduler& policy) {
     stats_.measured_misses = occ_->level_misses();
     for (std::size_t l = 1; l <= num_levels(); ++l)
       stats_.comm_cost += stats_.measured_misses[l - 1] * m_->miss_cost(l);
+    // Write-back and contention traffic are extra *cost*, not extra Q_i:
+    // Theorem 1 bounds reload words, these bill eviction and bandwidth
+    // interference on top. Both are identically zero (and the stats stay
+    // in their legacy shape) under the default model.
+    if (occ_->model().wb > 0.0) {
+      stats_.measured_writebacks = occ_->level_writebacks();
+      for (std::size_t l = 1; l <= num_levels(); ++l)
+        stats_.comm_cost +=
+            stats_.measured_writebacks[l - 1] * m_->miss_cost(l);
+    }
+    if (occ_->model().bw > 0.0) {
+      const std::vector<double>& ct = occ_->level_contention();
+      for (std::size_t l = 1; l <= num_levels(); ++l)
+        stats_.contention_cost += ct[l - 1] * m_->miss_cost(l);
+      stats_.comm_cost += stats_.contention_cost;
+    }
   }
   stats_.utilization =
       now > 0 ? busy_time_ / (double(m_->num_processors()) * now) : 1.0;

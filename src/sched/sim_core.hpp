@@ -46,12 +46,18 @@ namespace ndf {
 struct SchedOptions {
   double sigma = 1.0 / 3.0;   ///< dilation parameter: units are σM1-maximal
   bool charge_misses = true;  ///< include miss latency in unit durations
-  /// Simulate per-cache LRU occupancy (pmh/occupancy.hpp) and report the
+  /// Simulate per-cache occupancy (pmh/occupancy.hpp) and report the
   /// *measured* per-level misses Q_i and communication cost alongside the
   /// policy's charged model. Purely observational: it never changes unit
   /// durations, so makespan and the legacy stats are bit-identical with
   /// the flag on or off.
   bool measure_misses = false;
+  /// Cache model the measured occupancy simulates (pmh/cache_model.hpp):
+  /// replacement policy, associativity/line granularity, inclusive vs
+  /// exclusive levels, write-back and contention costs. The default spec
+  /// is the ideal whole-capacity LRU whose counters are byte-identical to
+  /// the pre-registry layer. Irrelevant unless measure_misses.
+  CacheModelSpec cache_model;
   /// Service mode (src/serve/): carry the simulated occupancy *contents*
   /// over from the previous run on this core instead of starting cold, so
   /// consecutive jobs multiplexed onto one machine see each other's cache
@@ -92,14 +98,23 @@ struct SchedStats {
   std::size_t steals = 0;   ///< work-stealing: successful steals
   /// Average processor utilization: total busy time / (p · makespan).
   double utilization = 0.0;
-  /// Measured per-level misses Q_i from the simulated LRU occupancy layer
+  /// Measured per-level misses Q_i from the simulated occupancy layer
   /// (empty unless SchedOptions::measure_misses): measured_misses[i] is the
   /// total words loaded into level-(i+1) caches, the quantity Theorem 1
   /// bounds by Q*(t; σM_{i+1}).
   std::vector<double> measured_misses;
-  /// Measured communication cost Σ_level measured_misses·C (0 unless
-  /// measuring) — the figure-of-merit companion to makespan.
+  /// Measured communication cost — Σ_level (Q_i + WB_i)·C_i plus the
+  /// contention cost below (0 unless measuring). With the default cache
+  /// model the write-back and contention terms are zero, so this stays the
+  /// legacy Σ Q_i·C_i byte for byte.
   double comm_cost = 0.0;
+  /// Per-level write-back traffic WB_i of the measured cache model (empty
+  /// unless measuring with a wb > 0 model): words of dirty-eviction
+  /// traffic, costed into comm_cost but *not* part of Q_i.
+  std::vector<double> measured_writebacks;
+  /// Shared-bandwidth contention cost Σ_level contention_i·C_i (0 unless
+  /// measuring with a bw > 0 model); already included in comm_cost.
+  double contention_cost = 0.0;
 };
 
 class SimCore;
@@ -254,7 +269,13 @@ class SimCore {
   void cascade_all();
   /// Runs unit `u`'s footprint through every cache above `proc` (level 1
   /// up) in the occupancy layer; called once per assignment, at unit start.
+  /// Under an exclusive cache model, a level that hits stops the walk —
+  /// the unit is served from the innermost resident copy and outer levels
+  /// see no traffic.
   void touch_unit(std::size_t proc, int u);
+  /// Other processors currently running a unit under the same level-`level`
+  /// cache as `proc` — the contention sharer count for a bw > 0 model.
+  std::size_t busy_sharers(std::size_t proc, std::size_t level) const;
   /// Fires all vertices of completed unit `u`, children before parents so
   /// the unit root's exit fires last.
   void complete_unit(int u);
@@ -297,6 +318,7 @@ class SimCore {
 
   std::unique_ptr<CacheOccupancy> occ_;  // only when opts.measure_misses
   const Pmh* occ_machine_ = nullptr;     // machine occ_ was shaped for
+                                         // (its model spec lives in occ_)
 
   SchedStats stats_;
   double busy_time_ = 0.0;

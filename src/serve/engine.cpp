@@ -107,6 +107,7 @@ class CellRunner {
   void run(ServeCell& cell) {
     cell.machine_desc = m_.to_string();
     cell.policy = policy_;
+    if (!s_.cache_model.is_default()) cell.cache = s_.cache_model.label();
     cell.sigma = sigma_;
     if (s_.closed)
       run_closed(cell);
@@ -124,6 +125,7 @@ class CellRunner {
     opts.alpha_prime = s_.alpha_prime;
     opts.charge_misses = s_.charge_misses;
     opts.measure_misses = s_.measure_misses;
+    opts.cache_model = s_.cache_model;
     // The simulated caches persist across jobs; footprint keys are
     // namespaced per (tenant, workload) so only a tenant's own repeat
     // jobs can hit warm lines (engine.hpp, "Measured occupancy").
@@ -329,6 +331,11 @@ void validate(const ServeScenario& s) {
                   "serve scenario '" << s.name << "' names unknown policy '"
                                      << p << "'");
   for (const std::string& spec : s.machines) (void)parse_pmh(spec);
+  NDF_CHECK_MSG(cache_repl_registered(s.cache_model.repl),
+                "serve scenario '"
+                    << s.name << "' names unknown cache replacement policy '"
+                    << s.cache_model.repl << "' (in '"
+                    << s.cache_model.label() << "')");
   for (double sigma : s.sigmas)
     NDF_CHECK_MSG(sigma > 0.0 && sigma < 1.0,
                   "serve scenario '" << s.name << "' has sigma " << sigma

@@ -34,6 +34,7 @@
 #include <optional>
 #include <vector>
 
+#include "pmh/cache_model.hpp"
 #include "serve/arrivals.hpp"
 
 namespace ndf::serve {
@@ -57,6 +58,12 @@ struct ServeScenario {
   std::uint64_t base_seed = 42;  ///< job i runs with seed base_seed + i
   bool charge_misses = true;
   bool measure_misses = false;  ///< persistent occupancy + per-job Q_i
+  /// Cache model for the persistent occupancy (`--cache=` spec,
+  /// pmh/cache_model.hpp). A single model, not an axis: the service caches
+  /// persist across jobs, so a model change means a different machine
+  /// state history, not a comparable cell. Default keeps all output
+  /// byte-identical to the pre-registry engine.
+  CacheModelSpec cache_model;
 };
 
 /// One served job: the resolved spec plus its service trajectory.
@@ -101,6 +108,9 @@ struct ServeCell {
   std::string machine;       ///< the spec string the scenario named
   std::string machine_desc;  ///< Pmh::to_string() of the built machine
   std::string policy;
+  /// Cache-model label when the scenario serves under a non-default model;
+  /// empty otherwise (emitters gate their `cache` column on it).
+  std::string cache;
   double sigma = 1.0 / 3.0;
   std::vector<JobRecord> jobs;  ///< in execution (admission) order
   ServeSummary summary;

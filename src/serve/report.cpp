@@ -28,17 +28,28 @@ std::size_t max_measured_levels(const std::vector<ServeCell>& cells) {
   return L;
 }
 
+/// Whether any cell served under a non-default cache model (ServeCell's
+/// cache label is empty for the default): gates the `cache` column so
+/// default-model output stays byte-identical to the pre-registry emitters.
+bool any_cache_model(const std::vector<ServeCell>& cells) {
+  for (const ServeCell& c : cells)
+    if (!c.cache.empty()) return true;
+  return false;
+}
+
 }  // namespace
 
 Table summary_table(const std::string& title,
                     const std::vector<ServeCell>& cells) {
   const std::size_t Q = max_measured_levels(cells);
+  const bool C = any_cache_model(cells);
   Table t(title);
   std::vector<std::string> header{
       "machine",  "policy",   "sigma",    "jobs",     "horizon",
       "thruput",  "util",     "fairness", "tenants",  "lat_mean",
       "lat_p50",  "lat_p99",  "lat_p999", "lat_max",  "ddl",
       "ddl_miss"};
+  if (C) header.insert(header.begin() + 2, "cache");
   if (Q > 0) {
     header.push_back("comm_cost");
     for (std::size_t l = 1; l <= Q; ++l)
@@ -48,9 +59,10 @@ Table summary_table(const std::string& title,
   for (const ServeCell& c : cells) {
     const ServeSummary& s = c.summary;
     std::vector<Cell> row;
-    row.reserve(16 + (Q > 0 ? Q + 1 : 0));
+    row.reserve(17 + (Q > 0 ? Q + 1 : 0));
     row.push_back(c.machine);
     row.push_back(c.policy);
+    if (C) row.push_back(c.cache.empty() ? std::string("lru") : c.cache);
     row.push_back(c.sigma);
     row.push_back((long long)s.completed);
     row.push_back(s.horizon);
@@ -91,7 +103,11 @@ void write_serve_json(std::ostream& os, const std::string& name,
     os << (i ? ",\n" : "\n") << "    {\"machine\": \""
        << json_escape(c.machine) << "\", \"machine_desc\": \""
        << json_escape(c.machine_desc) << "\", \"policy\": \""
-       << json_escape(c.policy) << "\", \"sigma\": ";
+       << json_escape(c.policy) << "\"";
+    // Cache-model key only under a non-default model (legacy byte-identity).
+    if (!c.cache.empty())
+      os << ", \"cache\": \"" << json_escape(c.cache) << "\"";
+    os << ", \"sigma\": ";
     write_number(os, c.sigma);
     os << ",\n     \"summary\": {\"completed\": " << s.completed
        << ", \"horizon\": ";
@@ -165,7 +181,10 @@ void write_serve_json(std::ostream& os, const std::string& name,
 void write_serve_csv(std::ostream& os, const std::vector<ServeCell>& cells) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   const std::size_t Q = max_measured_levels(cells);
-  os << "machine,policy,sigma,job,tenant,workload,arrival,deadline,start,"
+  const bool C = any_cache_model(cells);
+  os << "machine,policy,";
+  if (C) os << "cache,";
+  os << "sigma,job,tenant,workload,arrival,deadline,start,"
         "completion,latency,service,utilization,deadline_met";
   if (Q > 0) {
     os << ",comm_cost";
@@ -174,7 +193,9 @@ void write_serve_csv(std::ostream& os, const std::vector<ServeCell>& cells) {
   os << "\n";
   for (const ServeCell& c : cells) {
     for (const JobRecord& r : c.jobs) {
-      os << csv_field(c.machine) << ',' << c.policy << ',' << c.sigma << ','
+      os << csv_field(c.machine) << ',' << c.policy << ',';
+      if (C) os << csv_field(c.cache.empty() ? "lru" : c.cache) << ',';
+      os << c.sigma << ','
          << r.job.index << ',' << csv_field(r.job.tenant) << ','
          << csv_field(r.job.workload.label()) << ',' << r.job.arrival << ',';
       if (r.job.has_deadline()) os << r.job.deadline;  // empty = none

@@ -1,0 +1,486 @@
+// Tests of the pluggable cache-model subsystem (pmh/cache_model.hpp):
+//   C1  spec parsing: bare-name shorthand, full cache:key=value specs,
+//       label() round-trips, list parsing dedups
+//   C2  rejection paths name the full offending spec verbatim — duplicate
+//       keys, unknown keys, unknown policies/families, bad values
+//   C3  the registry: builtins present and sorted, duplicate registration
+//       refused, unknown lookup names what is registered
+//   C4  replacement semantics that distinguish the builtins: FIFO ignores
+//       re-touches, clock grants second chances, aging favors referenced
+//       entries over load order; every builtin honors pinning
+//   C5  a registered policy that cannot honor pinning is diagnosed loudly
+//       (pin() names the model) — the sb policy's reservations are either
+//       honored or refused, never silently dropped
+//   C6  model parameters: line quantization, set associativity with
+//       conflict misses, write-back and contention accounting, exclusive
+//       levels suppressing outer traffic on inner hits
+//   C7  the default model is byte-identical to the pre-registry LRU output
+//       and a non-default cache axis stays --jobs invariant
+//   C8  emitters under a non-default model: golden table/JSON/CSV fixtures
+//       with the cache column and write-back/contention keys
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "pmh/cache_model.hpp"
+#include "pmh/occupancy.hpp"
+#include "pmh/presets.hpp"
+#include "sched/registry.hpp"
+#include "sched/sim_core.hpp"
+
+namespace ndf {
+namespace {
+
+void expect_throws_containing(const std::function<void()>& fn,
+                              const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected CheckError containing: " << needle;
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CacheModelSpec, ParseAndLabelRoundTrip) {  // C1
+  const CacheModelSpec dflt;
+  EXPECT_TRUE(dflt.is_default());
+  EXPECT_EQ(dflt.label(), "lru");
+
+  // Bare-name shorthand.
+  const CacheModelSpec bare = parse_cache_model("clock");
+  EXPECT_EQ(bare.repl, "clock");
+  EXPECT_FALSE(bare.is_default());
+  EXPECT_EQ(bare.label(), "clock");
+  EXPECT_EQ(parse_cache_model(bare.label()), bare);
+
+  // Full parametric spec, every key: the label echoes it and re-parses.
+  const std::string full = "cache:repl=fifo,assoc=8,line=64,excl=1,wb=1,bw=0.25";
+  const CacheModelSpec s = parse_cache_model(full);
+  EXPECT_EQ(s.repl, "fifo");
+  EXPECT_EQ(s.assoc, 8u);
+  EXPECT_DOUBLE_EQ(s.line, 64.0);
+  EXPECT_TRUE(s.exclusive);
+  EXPECT_DOUBLE_EQ(s.wb, 1.0);
+  EXPECT_DOUBLE_EQ(s.bw, 0.25);
+  EXPECT_EQ(s.label(), full);
+  EXPECT_EQ(parse_cache_model(s.label()), s);
+
+  // assoc without an explicit line: the effective line defaults to 64.
+  const CacheModelSpec a = parse_cache_model("cache:assoc=4");
+  EXPECT_DOUBLE_EQ(a.effective_line(), 64.0);
+  EXPECT_DOUBLE_EQ(dflt.effective_line(), 0.0);  // fully associative: none
+
+  // List parsing: ';'-separated, duplicates (by value) collapse.
+  const auto list = parse_cache_model_list("lru;clock;cache:repl=clock;fifo");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].label(), "lru");
+  EXPECT_EQ(list[1].label(), "clock");
+  EXPECT_EQ(list[2].label(), "fifo");
+}
+
+TEST(CacheModelSpec, RejectionsNameTheSpecVerbatim) {  // C2
+  expect_throws_containing([] { parse_cache_model("plumbus"); },
+                           "'plumbus'");
+  expect_throws_containing([] { parse_cache_model("dish:repl=lru"); },
+                           "'dish:repl=lru'");
+  expect_throws_containing(
+      [] { parse_cache_model("cache:repl=lru,repl=fifo"); },
+      "duplicate cache parameter 'repl' in 'cache:repl=lru,repl=fifo'");
+  expect_throws_containing(
+      [] { parse_cache_model("cache:sets=4"); },
+      "unknown cache parameter 'sets' in 'cache:sets=4'");
+  expect_throws_containing([] { parse_cache_model("cache:repl=mru"); },
+                           "'cache:repl=mru'");
+  expect_throws_containing([] { parse_cache_model("cache:assoc=1.5"); },
+                           "'cache:assoc=1.5'");
+  expect_throws_containing([] { parse_cache_model("cache:line=-2"); },
+                           "'cache:line=-2'");
+  expect_throws_containing([] { parse_cache_model("cache:excl=2"); },
+                           "'cache:excl=2'");
+  expect_throws_containing([] { parse_cache_model("cache:wb=abc"); },
+                           "'cache:wb=abc'");
+  expect_throws_containing([] { parse_cache_model("cache:bw"); },
+                           "'cache:bw'");
+}
+
+TEST(CacheModelRegistry, BuiltinsAndLookups) {  // C3
+  for (const char* name : {"lru", "fifo", "clock", "aging"})
+    EXPECT_TRUE(cache_repl_registered(name)) << name;
+  EXPECT_FALSE(cache_repl_registered("mru"));
+
+  // Sorted, described, and at least the four builtins.
+  const auto infos = registered_cache_repls();
+  EXPECT_GE(infos.size(), 4u);
+  for (std::size_t i = 1; i < infos.size(); ++i)
+    EXPECT_LT(infos[i - 1].name, infos[i].name);
+  for (const auto& info : infos) EXPECT_FALSE(info.description.empty());
+
+  // Re-registering a taken name is refused (first registration wins).
+  EXPECT_FALSE(register_cache_repl("lru", "impostor", [] {
+    return make_cache_repl("fifo");
+  }));
+
+  expect_throws_containing([] { (void)make_cache_repl("mru"); },
+                           "unknown replacement policy 'mru'");
+}
+
+TEST(CacheModelSemantics, FifoIgnoresReTouches) {  // C4
+  const Pmh m(PmhConfig::flat(1, 100.0, 1.0));
+  CacheOccupancy occ(m, parse_cache_model("fifo"));
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 40.0), 40.0);
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 1, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 40.0), 0.0);  // hit, but no refresh
+  // Pressure: FIFO evicts the *oldest load* (task 0) even though it was
+  // touched after task 1 — LRU would evict task 1 here.
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 2, 20.0), 20.0);
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 1, 50.0), 0.0);   // survived
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 40.0), 40.0);  // reload
+}
+
+TEST(CacheModelSemantics, ClockGrantsSecondChancesInHandOrder) {  // C4
+  const Pmh m(PmhConfig::flat(1, 100.0, 1.0));
+  CacheOccupancy occ(m, parse_cache_model("clock"));
+  occ.touch(1, 0, 0, 40.0);  // A, referenced
+  occ.touch(1, 0, 1, 40.0);  // B, referenced
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 40.0), 0.0);  // re-reference A
+  // Pressure: the sweep clears both referenced bits (second chance), wraps,
+  // and evicts the first unreferenced entry under the hand — A, despite its
+  // recent touch. LRU would have evicted B.
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 2, 40.0), 40.0);
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 1, 40.0), 0.0);   // B survived
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 40.0), 40.0);  // A was the victim
+}
+
+TEST(CacheModelSemantics, AgingFavorsReferencedOverLoadOrder) {  // C4
+  const Pmh m(PmhConfig::flat(1, 100.0, 1.0));
+  CacheOccupancy occ(m, parse_cache_model("aging"));
+  occ.touch(1, 0, 0, 40.0);                          // A
+  occ.touch(1, 0, 1, 40.0);                          // B
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 2, 40.0), 40.0);  // tick: evicts A
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 1, 40.0), 0.0);   // re-reference B
+  // Next tick: B's age gets a fresh MSB from its reference, C's decays —
+  // the *newer but unreferenced* C is evicted. FIFO would evict B.
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 3, 40.0), 40.0);
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 1, 40.0), 0.0);   // B survived
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 2, 40.0), 40.0);  // C was the victim
+}
+
+TEST(CacheModelSemantics, EveryBuiltinHonorsPinning) {  // C4
+  const Pmh m(PmhConfig::flat(1, 100.0, 1.0));
+  for (const auto& info : registered_cache_repls()) {
+    if (!make_cache_repl(info.name)->honors_pinning()) continue;
+    CacheModelSpec spec;
+    spec.repl = info.name;
+    CacheOccupancy occ(m, spec);
+    occ.pin(1, 0, 0, 60.0);
+    EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 60.0), 60.0) << info.name;
+    for (int t = 1; t <= 8; ++t) occ.touch(1, 0, t, 30.0);
+    EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 60.0), 0.0)
+        << info.name << ": pinned footprint was evicted";
+  }
+}
+
+/// A policy that declares itself unable to honor reservations: random
+/// replacement has no way to promise a pinned entry survives.
+class NoPinRepl final : public ReplacementPolicy {
+ public:
+  const char* name() const override { return "nopin"; }
+  bool honors_pinning() const override { return false; }
+  void touched(CacheEntry& e, std::uint64_t now) override { e.last_use = now; }
+  std::size_t victim(std::vector<CacheEntry>& entries,
+                     std::size_t& hand) override {
+    (void)hand;
+    return entries.empty() ? 0 : 0;
+  }
+};
+
+TEST(CacheModelSemantics, PinRefusalIsDiagnosedNamingTheModel) {  // C5
+  register_cache_repl("nopin", "random-like; cannot protect reservations",
+                      [] { return std::make_unique<NoPinRepl>(); });
+  const Pmh m(PmhConfig::flat(1, 100.0, 1.0));
+  CacheOccupancy occ(m, parse_cache_model("nopin"));
+  // Unpinned traffic works fine...
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 40.0), 40.0);
+  // ...but an sb-style reservation is refused loudly, naming the model.
+  expect_throws_containing([&] { occ.pin(1, 0, 1, 20.0); }, "'nopin'");
+
+  // End to end: the sb policy's first anchor hits the same diagnosis.
+  const exp::Workload w(exp::parse_workload("mm:n=16"));
+  const Pmh deep = make_pmh("deep2x4");
+  SchedOptions o;
+  o.measure_misses = true;
+  o.cache_model = parse_cache_model("nopin");
+  expect_throws_containing(
+      [&] { (void)run_scheduler("sb", w.graph(), deep, o); }, "'nopin'");
+  // Reservation-free schedulers run fine under the same model.
+  EXPECT_GT(run_scheduler("ws", w.graph(), deep, o).comm_cost, 0.0);
+}
+
+TEST(CacheModelParams, LineQuantizationRoundsChargesUp) {  // C6
+  const Pmh m(PmhConfig::flat(1, 100.0, 1.0));
+  CacheOccupancy occ(m, parse_cache_model("cache:line=32"));
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 33.0), 64.0);  // 2 lines
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 1, 1.0), 32.0);   // never less than one
+  EXPECT_DOUBLE_EQ(occ.misses(1), 96.0);
+}
+
+TEST(CacheModelParams, AssociativityCausesConflictMisses) {  // C6
+  const Pmh m(PmhConfig::flat(1, 100.0, 1.0));
+  // assoc=1 at line=50 splits the 100-word cache into two 50-word sets;
+  // tasks 0 and 2 collide in set 0 while set 1 sits empty.
+  CacheOccupancy occ(m, parse_cache_model("cache:assoc=1,line=50"));
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 30.0), 50.0);  // set 0
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 2, 30.0), 50.0);  // conflict: evicts 0
+  EXPECT_DOUBLE_EQ(occ.touch(1, 0, 0, 30.0), 50.0);  // reload
+  // The default fully-associative model fits all three footprints.
+  CacheOccupancy ideal(m);
+  ideal.touch(1, 0, 0, 30.0);
+  ideal.touch(1, 0, 2, 30.0);
+  EXPECT_DOUBLE_EQ(ideal.touch(1, 0, 0, 30.0), 0.0);
+}
+
+TEST(CacheModelParams, WriteBackChargesResidentEvictionsOnly) {  // C6
+  const Pmh m(PmhConfig::flat(1, 100.0, 1.0));
+  CacheOccupancy occ(m, parse_cache_model("cache:wb=0.5"));
+  occ.touch(1, 0, 0, 60.0);
+  ASSERT_EQ(occ.level_writebacks().size(), 1u);
+  EXPECT_DOUBLE_EQ(occ.level_writebacks()[0], 0.0);
+  occ.touch(1, 0, 1, 60.0);  // evicts the resident 60-word footprint
+  EXPECT_DOUBLE_EQ(occ.level_writebacks()[0], 30.0);  // wb · size
+  // Dropping a never-loaded reservation moves nothing.
+  occ.pin(1, 0, 2, 40.0);
+  occ.unpin(1, 0, 2);
+  EXPECT_DOUBLE_EQ(occ.level_writebacks()[0], 30.0);
+}
+
+TEST(CacheModelParams, ContentionScalesWithSharers) {  // C6
+  const Pmh m(PmhConfig::flat(1, 100.0, 1.0));
+  CacheOccupancy occ(m, parse_cache_model("cache:bw=0.5"));
+  occ.touch(1, 0, 0, 40.0, /*sharers=*/2);
+  ASSERT_EQ(occ.level_contention().size(), 1u);
+  EXPECT_DOUBLE_EQ(occ.level_contention()[0], 40.0);  // bw · 2 · 40
+  occ.touch(1, 0, 0, 40.0, 3);  // hit: no contention charge
+  EXPECT_DOUBLE_EQ(occ.level_contention()[0], 40.0);
+  occ.touch(1, 0, 1, 40.0, 0);  // miss with no sharers: none either
+  EXPECT_DOUBLE_EQ(occ.level_contention()[0], 40.0);
+}
+
+/// LRU that counts its reference updates — how the exclusive-levels test
+/// observes which touches SimCore actually forwards to the hierarchy.
+class SpyLruRepl final : public ReplacementPolicy {
+ public:
+  static std::uint64_t touches;
+  const char* name() const override { return "spylru"; }
+  void touched(CacheEntry& e, std::uint64_t now) override {
+    ++touches;
+    e.last_use = now;
+  }
+  std::size_t victim(std::vector<CacheEntry>& entries,
+                     std::size_t& hand) override {
+    (void)hand;
+    std::size_t v = entries.size();
+    for (std::size_t i = 0; i < entries.size(); ++i)
+      if (!entries[i].pinned &&
+          (v == entries.size() || entries[i].last_use < entries[v].last_use))
+        v = i;
+    return v;
+  }
+};
+std::uint64_t SpyLruRepl::touches = 0;
+
+/// Runs the same tiny job twice on one SimCore with keep_occupancy, the
+/// serve-mode pattern: the second job re-touches footprints the first left
+/// warm. Returns the cumulative stats after the warm rerun.
+SchedStats run_twice_warm(const CacheModelSpec& model, const Pmh& m,
+                          const CondensedDag& dag) {
+  SchedOptions o;
+  o.measure_misses = true;
+  o.keep_occupancy = true;
+  o.cache_model = model;
+  SimCore core(dag, m, o);
+  const auto cold = make_scheduler("serial", o);
+  core.run(*cold);
+  core.reset(dag, m, o);
+  const auto warm = make_scheduler("serial", o);
+  return core.run(*warm);
+}
+
+TEST(CacheModelParams, ExclusiveLevelsSkipOuterTouchesOnInnerHits) {
+  // C6: an inclusive hierarchy touches every level for every unit;
+  // exclusive semantics stop at the first hit, so a warm rerun (the serve
+  // mode's keep_occupancy pattern — within one run every unit's innermost
+  // footprint is cold by construction) drives L1 hits that suppress the
+  // outer touches entirely. The spy counter observes the suppressed
+  // traffic; the miss totals stay identical because the skipped touches
+  // would all have been hits (docs/cache-models.md).
+  register_cache_repl("spylru", "test spy: LRU that counts touches",
+                      [] { return std::make_unique<SpyLruRepl>(); });
+  // One socket whose L1 holds the whole workload: the rerun hits at L1.
+  const Pmh m = make_pmh("twotier:s=1,c=1,m1=768,m2=3072,c1=3,c2=30");
+  const exp::Workload w(exp::parse_workload("mm:n=8"));
+  const CondensedDag dag(w.graph(), level_cache_sizes(m), 1.0 / 3.0);
+
+  SpyLruRepl::touches = 0;
+  const SchedStats a = run_twice_warm(parse_cache_model("spylru"), m, dag);
+  const std::uint64_t inclusive_touches = SpyLruRepl::touches;
+  SpyLruRepl::touches = 0;
+  const SchedStats b = run_twice_warm(
+      parse_cache_model("cache:repl=spylru,excl=1"), m, dag);
+  const std::uint64_t exclusive_touches = SpyLruRepl::touches;
+
+  EXPECT_LT(exclusive_touches, inclusive_touches);
+  ASSERT_EQ(a.measured_misses.size(), b.measured_misses.size());
+  for (std::size_t l = 0; l < a.measured_misses.size(); ++l)
+    EXPECT_DOUBLE_EQ(b.measured_misses[l], a.measured_misses[l]) << l;
+}
+
+TEST(CacheModelDefault, ExplicitLruAxisIsByteIdenticalToImplicit) {  // C7
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=16;trs:n=16");
+  s.machines = {"flat:p=4,m1=768,c1=10", "deep2x4"};
+  s.policies = {"sb", "ws", "greedy", "serial"};
+  s.sigmas = {0.25, 0.5};
+  s.measure_misses = true;
+
+  const auto emit = [](const std::vector<exp::RunPoint>& runs) {
+    std::ostringstream os;
+    exp::results_table("c", runs).print(os);
+    exp::write_sweep_json(os, "c", runs);
+    exp::write_sweep_csv(os, runs);
+    return os.str();
+  };
+
+  exp::Sweep implicit(s, 1);
+  const std::string golden = emit(implicit.run());
+  // The default axis never surfaces in the output.
+  EXPECT_EQ(golden.find("cache"), std::string::npos);
+
+  exp::Scenario s2 = s;
+  s2.cache_models = parse_cache_model_list("lru");
+  exp::Sweep explicit_lru(s2, 1);
+  EXPECT_EQ(emit(explicit_lru.run()), golden);
+}
+
+TEST(CacheModelAxis, SweepsModelsAndStaysJobsInvariant) {  // C7
+  exp::Scenario s;
+  s.workloads = exp::parse_workload_list("mm:n=16");
+  s.machines = {"deep2x4"};
+  s.policies = {"sb", "ws"};
+  s.measure_misses = true;
+  s.cache_models =
+      parse_cache_model_list("lru;clock;cache:repl=fifo,wb=1,bw=0.5");
+
+  const auto emit = [](const std::vector<exp::RunPoint>& runs) {
+    std::ostringstream os;
+    exp::results_table("c", runs).print(os);
+    exp::write_sweep_json(os, "c", runs);
+    exp::write_sweep_csv(os, runs);
+    return os.str();
+  };
+
+  exp::Sweep serial_sweep(s, 1);
+  const auto& runs = serial_sweep.run();
+  // The axis multiplies cells, not condensations (scenario.hpp).
+  EXPECT_EQ(runs.size(), 2u * 3u);
+  EXPECT_EQ(serial_sweep.condensations_built(), 1u);
+  const std::string golden = emit(runs);
+  EXPECT_NE(golden.find("cache:repl=fifo,wb=1,bw=0.5"), std::string::npos);
+  EXPECT_NE(golden.find("measured_writebacks"), std::string::npos);
+  EXPECT_NE(golden.find("contention_cost"), std::string::npos);
+
+  exp::Sweep parallel_sweep(s, 4);
+  EXPECT_EQ(emit(parallel_sweep.run()), golden);  // --jobs invariant
+
+  // Unknown models are rejected at validation, naming the label.
+  exp::Scenario bad = s;
+  bad.cache_models[1].repl = "mru";
+  expect_throws_containing([&] { exp::Sweep(bad, 1).run(); }, "'mru'");
+}
+
+// Hand-built run point with round integer values under a non-default
+// model: the emitter fixtures below are exact byte-level goldens.
+std::vector<exp::RunPoint> model_fixture_runs() {
+  exp::RunPoint r;
+  r.workload = exp::parse_workload("mm:n=8");
+  r.machine = "flat:p=2,m1=768,c1=10";
+  r.machine_desc = "PMH[p=2, L1: 2x M=768 C=10]";
+  r.policy = "serial";
+  r.cache = parse_cache_model("cache:repl=clock,wb=1,bw=0.5");
+  r.sigma = 0.5;
+  r.alpha_prime = 1;
+  r.repeat = 0;
+  r.seed = 42;
+  r.stats.makespan = 100;
+  r.stats.total_work = 80;
+  r.stats.miss_cost = 20;
+  r.stats.utilization = 0.5;
+  r.stats.atomic_units = 4;
+  r.stats.anchors = 0;
+  r.stats.steals = 0;
+  r.stats.misses = {2};
+  r.stats.measured_misses = {3};
+  r.stats.measured_writebacks = {4};
+  r.stats.comm_cost = 75;
+  r.stats.contention_cost = 5;
+  return {r};
+}
+
+TEST(CacheModelReport, GoldenJsonWithModelColumns) {  // C8
+  std::ostringstream os;
+  exp::write_sweep_json(os, "golden", model_fixture_runs());
+  EXPECT_EQ(os.str(),
+            "{\n  \"sweep\": \"golden\",\n  \"runs\": [\n"
+            "    {\"workload\": \"mm:n=8\", \"algo\": \"mm\", \"n\": 8, "
+            "\"base\": 4, \"np\": false, "
+            "\"machine\": \"flat:p=2,m1=768,c1=10\", "
+            "\"machine_desc\": \"PMH[p=2, L1: 2x M=768 C=10]\", "
+            "\"policy\": \"serial\", "
+            "\"cache\": \"cache:repl=clock,wb=1,bw=0.5\", "
+            "\"sigma\": 0.5, \"alpha_prime\": 1, "
+            "\"repeat\": 0, \"seed\": 42, "
+            "\"stats\": {\"makespan\": 100, \"total_work\": 80, "
+            "\"miss_cost\": 20, \"utilization\": 0.5, \"atomic_units\": 4, "
+            "\"anchors\": 0, \"steals\": 0, \"misses\": [2], "
+            "\"comm_cost\": 75, \"measured_misses\": [3], "
+            "\"measured_writebacks\": [4], \"contention_cost\": 5}}"
+            "\n  ]\n}\n");
+}
+
+TEST(CacheModelReport, GoldenCsvWithModelColumns) {  // C8
+  std::ostringstream os;
+  exp::write_sweep_csv(os, model_fixture_runs());
+  EXPECT_EQ(os.str(),
+            "workload,algo,n,base,np,machine,policy,cache,sigma,alpha_prime,"
+            "repeat,seed,makespan,total_work,miss_cost,utilization,"
+            "atomic_units,anchors,steals,misses_l1,comm_cost,q_l1,wb_l1\n"
+            "mm:n=8,mm,8,4,0,\"flat:p=2,m1=768,c1=10\",serial,"
+            "\"cache:repl=clock,wb=1,bw=0.5\",0.5,1,0,42,"
+            "100,80,20,0.5,4,0,0,2,75,3,4\n");
+}
+
+TEST(CacheModelReport, TableGrowsModelColumnsOnlyWhenNonDefault) {  // C8
+  const Table with = exp::results_table("t", model_fixture_runs());
+  std::ostringstream on;
+  with.print(on);
+  EXPECT_NE(on.str().find("cache"), std::string::npos);
+  EXPECT_NE(on.str().find("cache:repl=clock,wb=1,bw=0.5"),
+            std::string::npos);
+  EXPECT_NE(on.str().find("WB_L1"), std::string::npos);
+
+  // A default-model run shows neither column.
+  auto runs = model_fixture_runs();
+  runs[0].cache = CacheModelSpec{};
+  runs[0].stats.measured_writebacks.clear();
+  const Table without = exp::results_table("t", runs);
+  std::ostringstream off;
+  without.print(off);
+  EXPECT_EQ(off.str().find("cache"), std::string::npos);
+  EXPECT_EQ(off.str().find("WB_L1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndf
