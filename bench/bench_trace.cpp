@@ -4,11 +4,13 @@
 // subtask boundaries) that the fire construct removes.
 //
 // Flags: --n=<size> --buckets=<k> --sched=<policy> (default sb),
-// --json=<path>.
+// --json=<path>, --trace-out=<path> (export the first timeline's full
+// event stream as Chrome trace-event JSON / CSV, docs/observability.md).
 #include "algos/lcs.hpp"
 #include "algos/trs.hpp"
 #include "bench_common.hpp"
 #include "nd/drs.hpp"
+#include "obs/export.hpp"
 #include "sched/registry.hpp"
 #include "sched/trace.hpp"
 
@@ -16,13 +18,20 @@ using namespace ndf;
 
 namespace {
 
+/// Runs one elaboration and prints its utilization timeline. The unit
+/// trace now comes from the structured event stream (obs::EventRecorder →
+/// unit_trace()), which is element-identical to the legacy
+/// SchedOptions::trace capture, so the table is byte-identical to the
+/// pre-obs bench. `keep`, when non-null, receives the run's recorder (the
+/// --trace-out export).
 void timeline(bench::Output& out, const std::string& policy,
               const std::string& name, const StrandGraph& g, const Pmh& m,
-              std::size_t buckets) {
-  Trace trace;
+              std::size_t buckets, obs::EventRecorder* keep = nullptr) {
+  obs::EventRecorder rec;
   SchedOptions o;
-  o.trace = &trace;
+  o.sink = &rec;
   const SchedStats s = run_scheduler(policy, g, m, o);
+  const Trace trace = rec.unit_trace();
   const auto tl =
       utilization_timeline(trace, m.num_processors(), s.makespan, buckets);
   Table t(name + " (makespan " + std::to_string((long long)s.makespan) +
@@ -33,13 +42,15 @@ void timeline(bench::Output& out, const std::string& policy,
     t.add_row({(long long)b, tl[b], bar});
   }
   out.emit(t);
+  if (keep != nullptr) *keep = std::move(rec);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  bench::reject_unknown_flags(args, {"n", "buckets", "sched", "json"},
+  bench::reject_unknown_flags(args, {"n", "buckets", "sched", "json",
+                                     "trace-out"},
                               "see the header of bench_trace.cpp");
   const std::size_t n = std::size_t(args.get("n", 128LL));
   const std::size_t buckets = std::size_t(args.get("buckets", 16LL));
@@ -48,11 +59,14 @@ int main(int argc, char** argv) {
   bench::heading("E13 trace/utilization",
                  "Simulated-scheduler utilization over time, ND vs NP "
                  "elaboration of the same spawn tree.");
+  const std::string trace_out = args.get("trace-out", std::string());
+  obs::EventRecorder first;
   Pmh m(PmhConfig::flat(16, 768, 10));
   {
     SpawnTree tree = make_trs_tree(n, 4);
     timeline(out, policy, "TRS n=" + std::to_string(n) + " [ND]",
-             elaborate(tree), m, buckets);
+             elaborate(tree), m, buckets,
+             trace_out.empty() ? nullptr : &first);
     timeline(out, policy, "TRS n=" + std::to_string(n) + " [NP]",
              elaborate(tree, {.np_mode = true}), m, buckets);
   }
@@ -67,5 +81,10 @@ int main(int argc, char** argv) {
   std::cout << "Expected shape: the ND timelines hold high utilization; the "
                "NP timelines show deep troughs at serialized recursion "
                "boundaries.\n";
+  if (!trace_out.empty()) {
+    obs::write_trace_file(trace_out, first, "E13 TRS [ND]");
+    std::fprintf(stderr, "trace: wrote %zu events to %s\n",
+                 first.events().size(), trace_out.c_str());
+  }
   return 0;
 }

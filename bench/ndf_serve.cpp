@@ -44,12 +44,25 @@
 //   --soak                       larger fixed grid (nightly CI): a
 //                                multi-tenant poisson burst across two
 //                                machines, all admission policies
+//   --trace-out=<path>           record grid cell 0's full event stream —
+//                                job arrival/admission/completion/deadline
+//                                plus every admitted job's unit, queue-wait
+//                                and cache events on the global service
+//                                clock — as Chrome trace-event JSON
+//                                (Perfetto-loadable) or raw CSV when the
+//                                path ends in .csv (docs/observability.md).
+//                                Observational: stdout/JSON/CSV stay
+//                                byte-identical with or without it
+//   --progress                   stderr heartbeat (phase, cells done/total,
+//                                ETA) while the grid runs
 //   --list                       print workloads/machines/policies and exit
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "obs/export.hpp"
 #include "pmh/cache_model.hpp"
 #include "pmh/presets.hpp"
 #include "sched/registry.hpp"
@@ -88,7 +101,7 @@ int main(int argc, char** argv) {
       args,
       {"trace", "arrivals", "workloads", "machines", "sched", "sigma",
        "alpha", "seed", "jobs", "misses", "cache", "json", "csv", "name",
-       "smoke", "soak", "list"},
+       "smoke", "soak", "list", "trace-out", "progress"},
       "see the header of ndf_serve.cpp or --list");
   if (args.get("list", false)) {
     list_everything();
@@ -166,6 +179,12 @@ int main(int argc, char** argv) {
                 "no machines — pass --machines=... or --smoke "
                 "(--list shows what exists)");
 
+  // Outlives the sweep: the scenario only borrows the sink.
+  obs::EventRecorder rec;
+  const std::string trace_out = args.get("trace-out", std::string());
+  if (!trace_out.empty()) s.trace_sink = &rec;
+  s.progress = args.get("progress", false);
+
   serve::ServeSweep sweep(std::move(s), jobs);
   const auto& cells = sweep.run();
 
@@ -188,6 +207,14 @@ int main(int argc, char** argv) {
     std::ofstream os(csv);
     NDF_CHECK_MSG(bool(os), "cannot write --csv=" << csv);
     serve::write_serve_csv(os, cells);
+  }
+
+  if (!trace_out.empty()) {
+    obs::write_trace_file(trace_out, rec, sweep.scenario().name);
+    // stderr: stdout must stay byte-identical with and without the flag
+    // (the serve gate diffs it).
+    std::fprintf(stderr, "trace: wrote %zu events to %s\n",
+                 rec.events().size(), trace_out.c_str());
   }
   return 0;
 }

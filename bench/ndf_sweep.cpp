@@ -44,9 +44,19 @@
 //                                axes overridable as usual (CI trims with
 //                                --repeat=2)
 //   --phase-times                print per-phase wall-clock (workload build
-//                                / condensation / cell execution / emit) to
-//                                stderr, so a perf regression is
-//                                attributable without a profiler
+//                                / condensation / cell execution / emit) and
+//                                per-worker busy/task accounting to stderr,
+//                                so a perf regression is attributable
+//                                without a profiler
+//   --trace-out=<path>           record grid cell 0's full event stream
+//                                (unit slices, queue waits, cache events)
+//                                and write it as Chrome trace-event JSON —
+//                                loadable in Perfetto — or raw CSV when the
+//                                path ends in .csv (docs/observability.md).
+//                                Observational: stdout/JSON/CSV stay
+//                                byte-identical with or without it
+//   --progress                   stderr heartbeat (phase, cells done/total,
+//                                ETA) while the sweep runs
 //   --list                       print workloads/machines/policies/gen
 //                                families and exit
 #include <chrono>
@@ -58,6 +68,7 @@
 #include "bench_common.hpp"
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
+#include "obs/export.hpp"
 #include "gen/gen.hpp"
 #include "pmh/cache_model.hpp"
 #include "pmh/presets.hpp"
@@ -99,7 +110,7 @@ int main(int argc, char** argv) {
       args,
       {"workloads", "machines", "sched", "sigma", "alpha", "repeat", "seed",
        "jobs", "json", "csv", "name", "smoke", "stress", "list", "dump-dot",
-       "misses", "cache", "phase-times"},
+       "misses", "cache", "phase-times", "trace-out", "progress"},
       "see the header of ndf_sweep.cpp or --list");
   if (args.get("list", false)) {
     list_everything();
@@ -176,6 +187,12 @@ int main(int argc, char** argv) {
 
   bench::dump_dot_flag(args, s.workloads.front());
 
+  // Outlives the sweep: the scenario only borrows the sink.
+  obs::EventRecorder rec;
+  const std::string trace_out = args.get("trace-out", std::string());
+  if (!trace_out.empty()) s.trace_sink = &rec;
+  s.progress = args.get("progress", false);
+
   exp::Sweep sweep(std::move(s), jobs);
   const auto& runs = sweep.run();
   const auto emit_start = std::chrono::steady_clock::now();
@@ -198,6 +215,14 @@ int main(int argc, char** argv) {
     exp::write_sweep_csv(os, runs);
   }
 
+  if (!trace_out.empty()) {
+    obs::write_trace_file(trace_out, rec, sweep.scenario().name);
+    // stderr, like --phase-times: stdout must stay byte-identical with
+    // and without the flag (the perf gate diffs it).
+    std::fprintf(stderr, "trace: wrote %zu events to %s\n",
+                 rec.events().size(), trace_out.c_str());
+  }
+
   if (args.get("phase-times", false)) {
     const double emit_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -211,6 +236,12 @@ int main(int argc, char** argv) {
                  "cell-execution %.3fs, emit %.3fs\n",
                  pt.workload_build, pt.condensation, pt.cell_execution,
                  emit_s);
+    // Pool self-profiling (empty on the serial path): busy seconds and
+    // task count per worker expose imbalance the phase totals hide.
+    const auto& ws = sweep.worker_stats();
+    for (std::size_t w = 0; w < ws.size(); ++w)
+      std::fprintf(stderr, "phase-times: worker %zu busy %.3fs (%zu tasks)\n",
+                   w, ws[w].busy_s, ws[w].tasks);
   }
   return 0;
 }

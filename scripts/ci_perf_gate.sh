@@ -123,6 +123,58 @@ run_grid 1 misses-lru --smoke --misses --cache=lru
 check_identical misses-serial misses-lru \
     "smoke grid with --misses, default vs explicit --cache=lru"
 
+# --- tracing is observational: --trace-out must not perturb results ------
+# The obs subsystem's core contract (docs/observability.md): attaching a
+# trace sink changes no simulation result, so every output of a traced run
+# is byte-identical to the untraced run — at --jobs=1 and --jobs=N. The
+# traced cell (cell 0) always runs with the sink regardless of jobs, so the
+# trace file itself must be byte-identical across jobs values too.
+run_grid 1 smoke-traced-serial --smoke \
+    --trace-out="$OUT/trace-serial.json"
+run_grid "$JOBS" smoke-traced-parallel --smoke \
+    --trace-out="$OUT/trace-parallel.json"
+check_identical smoke-serial smoke-traced-serial \
+    "smoke grid, untraced vs --trace-out at --jobs=1"
+check_identical smoke-parallel smoke-traced-parallel \
+    "smoke grid, untraced vs --trace-out at --jobs=$JOBS"
+if ! cmp -s "$OUT/trace-serial.json" "$OUT/trace-parallel.json"; then
+  echo "FAIL: chrome trace differs between --jobs=1 and --jobs=$JOBS:" >&2
+  diff "$OUT/trace-serial.json" "$OUT/trace-parallel.json" | head -10 >&2
+  exit 1
+fi
+echo "OK: chrome trace byte-identical across --jobs"
+
+# Schema sanity on the exported trace: non-empty traceEvents, the metadata
+# (M), complete-slice (X) and counter (C) phases all present, and the slice
+# events covering both unit executions and queue waits. jq when available
+# (CI runners), python3 otherwise.
+check_trace_schema() { # <trace.json> <label>
+  local trace=$1 label=$2
+  if command -v jq > /dev/null 2>&1; then
+    jq -e '(.traceEvents | length > 0)
+           and ([.traceEvents[].ph] | unique | contains(["C", "M", "X"]))
+           and ([.traceEvents[] | select(.ph == "X") | .cat] | unique
+                | contains(["queue", "unit"]))' \
+        "$trace" > /dev/null || {
+      echo "FAIL: $label: trace schema check failed for $trace" >&2
+      exit 1
+    }
+  else
+    python3 - "$trace" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ev = doc["traceEvents"]
+assert ev, "empty traceEvents"
+phases = {e["ph"] for e in ev}
+assert {"C", "M", "X"} <= phases, f"missing phases in {phases}"
+cats = {e.get("cat") for e in ev if e["ph"] == "X"}
+assert {"queue", "unit"} <= cats, f"missing X categories in {cats}"
+EOF
+  fi
+  echo "OK: $label trace schema sane (traceEvents nonempty, M/X/C phases, unit+queue slices)"
+}
+check_trace_schema "$OUT/trace-serial.json" "smoke grid"
+
 # --- Theorem 1 gate + cache-miss trajectory artifact --------------------
 # bench_cache_miss exits non-zero if any space-bounded run's measured Q_i
 # exceeds Q*(sigma*Mi); its JSON is uploaded next to the sweep timings.

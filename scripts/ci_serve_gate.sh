@@ -65,6 +65,22 @@ run_soak "$JOBS" soak-misses-parallel --misses
 check_identical soak-misses-serial soak-misses-parallel \
     "soak grid with --misses at --jobs=1 vs --jobs=$JOBS"
 
+# --- tracing is observational in service mode too ------------------------
+# --trace-out must leave every output byte-identical (the sink only rides
+# cell 0), and the trace itself must not depend on --jobs.
+run_soak 1 soak-traced-serial --trace-out="$OUT/trace-serial.json"
+run_soak "$JOBS" soak-traced-parallel --trace-out="$OUT/trace-parallel.json"
+check_identical soak-serial soak-traced-serial \
+    "soak grid, untraced vs --trace-out at --jobs=1"
+check_identical soak-parallel soak-traced-parallel \
+    "soak grid, untraced vs --trace-out at --jobs=$JOBS"
+if ! cmp -s "$OUT/trace-serial.json" "$OUT/trace-parallel.json"; then
+  echo "FAIL: serve trace differs between --jobs=1 and --jobs=$JOBS:" >&2
+  diff "$OUT/trace-serial.json" "$OUT/trace-parallel.json" | head -10 >&2
+  exit 1
+fi
+echo "OK: serve chrome trace byte-identical across --jobs"
+
 # --- best-of-3 timing + RSS into the trajectory artifact -----------------
 : > "$OUT/timings.txt"
 for jobs in 1 "$JOBS"; do

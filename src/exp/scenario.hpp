@@ -46,6 +46,14 @@ struct Scenario {
   /// to a scenario without the axis. Only meaningful with measure_misses.
   std::vector<CacheModelSpec> cache_models{CacheModelSpec{}};
   double steal_cost = 0.0;
+  /// Structured tracing (`--trace-out`): the sink attached to grid cell 0
+  /// — and only cell 0; a grid-wide trace would interleave cells — on both
+  /// execution paths. Observational only: results and emitter output stay
+  /// byte-identical (CI-gated). Not owned.
+  obs::TraceSink* trace_sink = nullptr;
+  /// `--progress`: stderr heartbeat (phase, cells done/total, ETA) while
+  /// the sweep runs. stdout emitters are unaffected.
+  bool progress = false;
 };
 
 /// One grid point, as indices into the scenario's axes (repeat is the

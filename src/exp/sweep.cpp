@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/progress.hpp"
 #include "pmh/presets.hpp"
 #include "sched/condensed_dag.hpp"
 #include "sched/registry.hpp"
@@ -48,10 +49,13 @@ struct alignas(64) ResultSlot {
 
 /// Executes grid cell i through `core`, constructing it on first use and
 /// reset()-rebinding it afterwards — the shared per-cell body of the serial
-/// loop and every parallel chunk.
+/// loop and every parallel chunk. `sink` (non-null for grid cell 0 only —
+/// the scenario's trace_sink) records the cell's event stream.
 RunPoint run_cell(const Scenario& s, const GridPoint& g, const Pmh& m,
-                  const CondensedDag& dag, std::unique_ptr<SimCore>& core) {
-  const SchedOptions opts = point_options(s, g);
+                  const CondensedDag& dag, std::unique_ptr<SimCore>& core,
+                  obs::TraceSink* sink) {
+  SchedOptions opts = point_options(s, g);
+  opts.sink = sink;
   const auto policy = make_scheduler(s.policies[g.policy], opts);
   if (core)
     core->reset(dag, m, opts);
@@ -71,6 +75,7 @@ const std::vector<RunPoint>& Sweep::run() {
   results_.clear();
   condensations_ = 0;
   phase_times_ = {};
+  worker_stats_.clear();
   validate(scenario_);
 
   std::vector<Pmh> machines;
@@ -94,6 +99,7 @@ const std::vector<RunPoint>& Sweep::run() {
     results_.clear();
     condensations_ = 0;
     phase_times_ = {};
+    worker_stats_.clear();
     throw;
   }
 
@@ -122,6 +128,9 @@ void Sweep::run_serial(const std::vector<Pmh>& machines,
   // table into serving a stale entry.
   std::unique_ptr<SimCore> core;
 
+  obs::ProgressMeter progress(scenario_.progress, scenario_.name);
+  progress.begin_phase("cells", grid.size());
+  std::size_t cell_index = 0;
   for (const GridPoint& g : grid) {
     if (g.workload != cur_w) {
       // Drop the core, then the cached dags, BEFORE the workload they
@@ -159,9 +168,14 @@ void Sweep::run_serial(const std::vector<Pmh>& machines,
     }
 
     const double t0 = now_s();
-    results_.push_back(run_cell(scenario_, g, m, *dag, core));
+    results_.push_back(
+        run_cell(scenario_, g, m, *dag, core,
+                 cell_index == 0 ? scenario_.trace_sink : nullptr));
     phase_times_.cell_execution += now_s() - t0;
+    ++cell_index;
+    progress.tick();
   }
+  progress.finish();
 }
 
 void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
@@ -176,7 +190,8 @@ void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
 
   // Declared after everything the tasks touch: if a phase throws, the
   // pool's destructor drains and joins before any of the data above is
-  // torn down.
+  // torn down. The progress meter outlives the pool's tasks the same way.
+  obs::ProgressMeter progress(scenario_.progress, scenario_.name);
   ThreadPool pool(jobs);
 
   // Phase 1: build each workload the grid references exactly once
@@ -185,14 +200,19 @@ void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
   {
     std::vector<char> used(scenario_.workloads.size(), 0);
     for (const CondensationPlan::Key& k : plan.keys) used[k.workload] = 1;
+    std::size_t n_used = 0;
+    for (char u : used) n_used += std::size_t(u);
+    progress.begin_phase("workloads", n_used);
     std::vector<std::future<void>> futs;
     for (std::size_t w = 0; w < workloads.size(); ++w) {
       if (!used[w]) continue;
-      futs.push_back(pool.submit([this, w, &workloads] {
+      futs.push_back(pool.submit([this, w, &workloads, &progress] {
         workloads[w] = std::make_unique<Workload>(scenario_.workloads[w]);
+        progress.tick();
       }));
     }
     wait_all(futs);
+    progress.finish();
   }
   phase_times_.workload_build = now_s() - t0;
 
@@ -202,17 +222,21 @@ void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
   // as shared immutable inputs.
   t0 = now_s();
   {
+    progress.begin_phase("condensations", plan.keys.size());
     std::vector<std::future<void>> futs;
     futs.reserve(plan.keys.size());
     for (std::size_t k = 0; k < plan.keys.size(); ++k) {
-      futs.push_back(pool.submit([this, k, &plan, &workloads, &dags] {
-        const CondensationPlan::Key& key = plan.keys[k];
-        dags[k] = std::make_unique<CondensedDag>(
-            workloads[key.workload]->graph(), key.sizes,
-            scenario_.sigmas[key.sigma]);
-      }));
+      futs.push_back(
+          pool.submit([this, k, &plan, &workloads, &dags, &progress] {
+            const CondensationPlan::Key& key = plan.keys[k];
+            dags[k] = std::make_unique<CondensedDag>(
+                workloads[key.workload]->graph(), key.sizes,
+                scenario_.sigmas[key.sigma]);
+            progress.tick();
+          }));
     }
     wait_all(futs);
+    progress.finish();
   }
   phase_times_.condensation = now_s() - t0;
 
@@ -226,17 +250,24 @@ void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
   // expand_grid order and emitter output is byte-identical to the serial
   // runner's at any --jobs value.
   t0 = now_s();
+  progress.begin_phase("cells", grid.size());
   parallel_for_chunks(
       pool, grid.size(), 4 * jobs,
-      [this, &grid, &plan, &machines, &dags, &results](std::size_t b,
-                                                       std::size_t e) {
+      [this, &grid, &plan, &machines, &dags, &results,
+       &progress](std::size_t b, std::size_t e) {
         std::unique_ptr<SimCore> core;
         for (std::size_t i = b; i < e; ++i) {
           const GridPoint& g = grid[i];
-          results[i].pt = run_cell(scenario_, g, machines[g.machine],
-                                   *dags[plan.cell[i]], core);
+          // Cell 0 (one cell, one worker) carries the scenario's trace
+          // sink; the sink needs no locking because no other cell emits.
+          results[i].pt =
+              run_cell(scenario_, g, machines[g.machine],
+                       *dags[plan.cell[i]], core,
+                       i == 0 ? scenario_.trace_sink : nullptr);
+          progress.tick();
         }
       });
+  progress.finish();
   phase_times_.cell_execution = now_s() - t0;
 
   results_.reserve(results.size());
@@ -244,6 +275,7 @@ void Sweep::run_parallel(std::size_t jobs, const std::vector<Pmh>& machines,
   // Reported only now: a throw in any phase above leaves the count at the
   // zero run() started from, never at plan size with no results behind it.
   condensations_ = plan.keys.size();
+  worker_stats_ = pool.worker_stats();
 }
 
 }  // namespace ndf::exp

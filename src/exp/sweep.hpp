@@ -33,6 +33,7 @@
 #include <cstddef>
 
 #include "exp/scenario.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ndf::exp {
 
@@ -69,6 +70,11 @@ class Sweep {
   std::size_t condensations_built() const { return condensations_; }
   /// Per-phase wall-clock of the completed run (zeros before/without one).
   const PhaseTimes& phase_times() const { return phase_times_; }
+  /// Per-worker busy/idle accounting of the completed run's thread pool
+  /// (empty before a run, and on the serial path — there are no workers).
+  const std::vector<ThreadPool::WorkerStats>& worker_stats() const {
+    return worker_stats_;
+  }
   /// The worker count requested at construction (0 = auto).
   std::size_t jobs() const { return jobs_; }
 
@@ -83,6 +89,7 @@ class Sweep {
   std::vector<RunPoint> results_;
   std::size_t condensations_ = 0;
   PhaseTimes phase_times_;
+  std::vector<ThreadPool::WorkerStats> worker_stats_;
   bool ran_ = false;
 };
 

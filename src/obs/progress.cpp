@@ -1,0 +1,70 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+namespace ndf::obs {
+
+ProgressMeter::ProgressMeter(bool enabled, std::string label,
+                             std::ostream* os, double interval_s)
+    : enabled_(enabled),
+      label_(std::move(label)),
+      os_(os != nullptr ? os : &std::cerr),
+      interval_s_(interval_s) {}
+
+double ProgressMeter::elapsed_s(Clock::time_point since) const {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+void ProgressMeter::print_line(double frac_known, std::size_t done) {
+  const bool final = frac_known >= 1.0;
+  const double elapsed = elapsed_s(phase_start_);
+  char buf[192];
+  if (final) {
+    std::snprintf(buf, sizeof buf, "progress[%s]: %s %zu/%zu done in %.1fs\n",
+                  label_.c_str(), phase_.c_str(), done, total_, elapsed);
+  } else if (done > 0 && total_ != 0) {
+    const double eta = elapsed * double(total_ - done) / double(done);
+    std::snprintf(buf, sizeof buf,
+                  "progress[%s]: %s %zu/%zu (%.1f%%) elapsed %.1fs eta %.1fs\n",
+                  label_.c_str(), phase_.c_str(), done, total_,
+                  100.0 * double(done) / double(total_), elapsed, eta);
+  } else {
+    std::snprintf(buf, sizeof buf, "progress[%s]: %s %zu/%zu elapsed %.1fs\n",
+                  label_.c_str(), phase_.c_str(), done, total_, elapsed);
+  }
+  (*os_) << buf;
+  os_->flush();
+  last_print_ = Clock::now();
+}
+
+void ProgressMeter::begin_phase(const std::string& phase, std::size_t total) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  phase_ = phase;
+  total_ = total;
+  done_ = 0;
+  open_ = true;
+  phase_start_ = Clock::now();
+  print_line(0.0, 0);
+}
+
+void ProgressMeter::tick(std::size_t n) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return;
+  done_ += n;
+  if (elapsed_s(last_print_) < interval_s_) return;
+  print_line(0.0, done_);
+}
+
+void ProgressMeter::finish() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return;
+  open_ = false;
+  if (done_ < total_) done_ = total_;  // phases tick once per item
+  print_line(1.0, done_);
+}
+
+}  // namespace ndf::obs

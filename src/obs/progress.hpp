@@ -1,0 +1,60 @@
+// Progress heartbeat for long sweeps: a thread-safe, rate-limited meter
+// that prints `progress[run]: phase done/total (pct) elapsed Xs eta Ys`
+// lines. All output goes to the chosen stream (stderr by default) so
+// stdout emitters stay byte-identical; a default-constructed or disabled
+// meter makes every call a cheap no-op.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace ndf::obs {
+
+class ProgressMeter {
+ public:
+  /// Disabled meter: begin_phase/tick/finish do nothing.
+  ProgressMeter() = default;
+
+  /// `label` names the run (appears as `progress[label]:`); `os` defaults
+  /// to std::cerr; `interval_s` is the minimum spacing between heartbeat
+  /// lines (the begin and finish lines always print).
+  explicit ProgressMeter(bool enabled, std::string label,
+                         std::ostream* os = nullptr, double interval_s = 1.0);
+
+  bool enabled() const { return enabled_; }
+
+  /// Starts a phase of `total` work items (prints the 0/total line).
+  void begin_phase(const std::string& phase, std::size_t total);
+
+  /// Marks `n` items of the current phase done; prints a heartbeat if at
+  /// least interval_s has passed since the last line. Safe to call from
+  /// multiple worker threads.
+  void tick(std::size_t n = 1);
+
+  /// Ends the current phase (prints the done-in line). No-op if no phase
+  /// is open.
+  void finish();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  double elapsed_s(Clock::time_point since) const;
+  void print_line(double frac_known, std::size_t done);  // mu_ held
+
+  bool enabled_ = false;
+  std::string label_;
+  std::ostream* os_ = nullptr;
+  double interval_s_ = 1.0;
+
+  std::mutex mu_;
+  std::string phase_;
+  std::size_t total_ = 0;
+  std::size_t done_ = 0;
+  bool open_ = false;
+  Clock::time_point phase_start_{};
+  Clock::time_point last_print_{};
+};
+
+}  // namespace ndf::obs

@@ -1,0 +1,87 @@
+#include "obs/recorder.hpp"
+
+namespace ndf::obs {
+
+void EventRecorder::on_unit(double start, double end, std::uint32_t proc,
+                            std::int64_t unit, std::int64_t root) {
+  Event e;
+  e.kind = Event::Kind::kUnit;
+  e.t0 = start;
+  e.t1 = end;
+  e.a = proc;
+  e.b = unit;
+  e.c = root;
+  events_.push_back(e);
+  ++counts_[std::size_t(Event::Kind::kUnit)];
+}
+
+void EventRecorder::on_queue_wait(double ready, double start,
+                                  std::uint32_t proc, std::int64_t unit) {
+  Event e;
+  e.kind = Event::Kind::kWait;
+  e.t0 = ready;
+  e.t1 = start;
+  e.a = proc;
+  e.b = unit;
+  events_.push_back(e);
+  ++counts_[std::size_t(Event::Kind::kWait)];
+}
+
+void EventRecorder::on_cache(CacheEvent kind, double t, std::uint32_t level,
+                             std::uint32_t cache, std::int64_t task,
+                             double words, double used_after) {
+  Event e;
+  e.kind = Event::Kind::kCache;
+  e.sub = std::uint8_t(kind);
+  e.t0 = t;
+  e.a = cache;
+  e.b = task;
+  e.c = std::int64_t(level);
+  e.words = words;
+  e.value = used_after;
+  events_.push_back(e);
+  ++counts_[std::size_t(Event::Kind::kCache)];
+}
+
+void EventRecorder::on_job(JobEvent kind, double t, std::int64_t job,
+                           std::uint32_t tenant, const char* label) {
+  Event e;
+  e.kind = Event::Kind::kJob;
+  e.sub = std::uint8_t(kind);
+  e.t0 = t;
+  e.a = tenant;
+  e.b = job;
+  if (label != nullptr && label[0] != '\0') {
+    // Linear intern: label sets are tiny (tenant + workload names).
+    std::size_t i = 0;
+    for (; i < labels_.size(); ++i)
+      if (labels_[i] == label) break;
+    if (i == labels_.size()) labels_.emplace_back(label);
+    e.c = std::int64_t(i);
+  }
+  events_.push_back(e);
+  ++counts_[std::size_t(Event::Kind::kJob)];
+}
+
+Trace EventRecorder::unit_trace() const {
+  Trace trace;
+  trace.reserve(count(Event::Kind::kUnit));
+  for (const Event& e : events_) {
+    if (e.kind != Event::Kind::kUnit) continue;
+    TraceEvent te;
+    te.start = e.t0;
+    te.end = e.t1;
+    te.proc = e.a;
+    te.unit_root = NodeId(e.c);
+    trace.push_back(te);
+  }
+  return trace;
+}
+
+void EventRecorder::clear() {
+  events_.clear();
+  labels_.clear();
+  for (std::size_t& c : counts_) c = 0;
+}
+
+}  // namespace ndf::obs

@@ -69,7 +69,19 @@ CacheEntry* CacheOccupancy::find(Set& s, std::int64_t task) {
   return nullptr;
 }
 
-void CacheOccupancy::make_room(Set& s, std::size_t level, double incoming) {
+void CacheOccupancy::emit(obs::CacheEvent kind, std::size_t level,
+                          std::size_t cache, std::int64_t task,
+                          double words) const {
+  if (sink_ == nullptr) return;
+  double used = 0.0;
+  for (const Set& s : caches_[level - 1][cache].sets) used += s.used;
+  sink_->on_cache(kind, now_ != nullptr ? *now_ : 0.0,
+                  std::uint32_t(level), std::uint32_t(cache), task, words,
+                  used);
+}
+
+void CacheOccupancy::make_room(Set& s, std::size_t level, std::size_t cache,
+                               double incoming) {
   const double capacity = set_capacity_[level - 1];
   while (s.used + incoming > capacity) {
     const std::size_t v = repl_->victim(s.entries, s.hand);
@@ -78,12 +90,16 @@ void CacheOccupancy::make_room(Set& s, std::size_t level, double incoming) {
     // Evicting loaded (dirty-assumed) data costs write-back traffic;
     // dropping a never-loaded reservation moves nothing.
     if (victim.resident) writebacks_[level - 1] += model_.wb * victim.size;
+    const std::int64_t victim_task = victim.task;
+    const double victim_size = victim.size;
     s.used -= victim.size;
     s.entries.erase(s.entries.begin() + v);
     // The erase shifted entries after v down one; keep the clock hand on
     // the element it pointed at (or wrap when the tail was evicted).
     if (s.hand > v) --s.hand;
     if (s.hand >= s.entries.size()) s.hand = 0;
+    if (sink_ != nullptr)
+      emit(obs::CacheEvent::kEvict, level, cache, victim_task, victim_size);
   }
 }
 
@@ -94,6 +110,8 @@ double CacheOccupancy::touch(std::size_t level, std::size_t cache,
   CacheEntry* e = find(s, task);
   if (e && e->resident) {
     repl_->touched(*e, ++clock_);
+    if (sink_ != nullptr)
+      emit(obs::CacheEvent::kHit, level, cache, task, e->size);
     return 0.0;  // hit
   }
   const double csize = charged(size);
@@ -102,7 +120,7 @@ double CacheOccupancy::touch(std::size_t level, std::size_t cache,
     e->resident = true;
     repl_->touched(*e, ++clock_);
   } else {
-    make_room(s, level, csize);
+    make_room(s, level, cache, csize);
     CacheEntry fresh;
     fresh.task = task;
     fresh.size = csize;
@@ -116,6 +134,7 @@ double CacheOccupancy::touch(std::size_t level, std::size_t cache,
   misses_[level - 1] += csize;
   if (sharers > 0)
     contention_[level - 1] += model_.bw * double(sharers) * csize;
+  if (sink_ != nullptr) emit(obs::CacheEvent::kMiss, level, cache, task, csize);
   return csize;
 }
 
@@ -131,6 +150,8 @@ void CacheOccupancy::pin(std::size_t level, std::size_t cache,
   Set& s = set_for(level, cache, task);
   if (CacheEntry* e = find(s, task)) {
     e->pinned = true;
+    if (sink_ != nullptr)
+      emit(obs::CacheEvent::kPin, level, cache, task, e->size);
     return;
   }
   // Reserve capacity now (the boundedness invariant the caller maintains
@@ -138,7 +159,7 @@ void CacheOccupancy::pin(std::size_t level, std::size_t cache,
   // *set* may transiently overfill — see occupancy.hpp); count the load on
   // first touch.
   const double csize = charged(size);
-  make_room(s, level, csize);
+  make_room(s, level, cache, csize);
   CacheEntry fresh;
   fresh.task = task;
   fresh.size = csize;
@@ -148,6 +169,7 @@ void CacheOccupancy::pin(std::size_t level, std::size_t cache,
   CacheEntry& back = s.entries.back();
   back.loaded_at = ++clock_;
   repl_->touched(back, clock_);
+  if (sink_ != nullptr) emit(obs::CacheEvent::kPin, level, cache, task, csize);
 }
 
 void CacheOccupancy::unpin(std::size_t level, std::size_t cache,
@@ -157,6 +179,7 @@ void CacheOccupancy::unpin(std::size_t level, std::size_t cache,
     CacheEntry& e = s.entries[i];
     if (e.task != task) continue;
     e.pinned = false;
+    const double esize = e.size;
     if (!e.resident) {
       // Reserved but never loaded: free the capacity, leave no stale entry.
       s.used -= e.size;
@@ -164,6 +187,8 @@ void CacheOccupancy::unpin(std::size_t level, std::size_t cache,
       if (s.hand > i) --s.hand;
       if (s.hand >= s.entries.size()) s.hand = 0;
     }
+    if (sink_ != nullptr)
+      emit(obs::CacheEvent::kUnpin, level, cache, task, esize);
     return;
   }
 }

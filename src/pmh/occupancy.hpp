@@ -46,6 +46,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/events.hpp"
 #include "pmh/cache_model.hpp"
 #include "pmh/machine.hpp"
 
@@ -109,6 +110,17 @@ class CacheOccupancy {
   /// words per miss (all-zero unless the model sets bw). Not part of Q_i.
   const std::vector<double>& level_contention() const { return contention_; }
 
+  /// Attaches a trace sink (obs/events.hpp): every touch/pin/unpin emits a
+  /// hit/miss/evict/pin/unpin event, timestamped by reading `*now` at
+  /// emission time (the simulation clock SimCore keeps current). Purely
+  /// observational — counters, eviction decisions and recency state are
+  /// bit-identical with or without a sink. Pass nullptr to detach;
+  /// survives reset().
+  void set_trace(obs::TraceSink* sink, const double* now) {
+    sink_ = sink;
+    now_ = now;
+  }
+
  private:
   /// One associativity set: with the default fully-associative model each
   /// cache has exactly one set spanning its whole capacity.
@@ -128,8 +140,14 @@ class CacheOccupancy {
   CacheEntry* find(Set& s, std::int64_t task);
   /// Evicts per the replacement policy until `s.used + incoming` fits in
   /// the set's capacity (or only pinned entries remain), charging
-  /// write-back traffic for resident victims.
-  void make_room(Set& s, std::size_t level, double incoming);
+  /// write-back traffic for resident victims. `cache` is only for trace
+  /// attribution of eviction events.
+  void make_room(Set& s, std::size_t level, std::size_t cache,
+                 double incoming);
+  /// Emits a cache trace event with the cache's post-event used total;
+  /// no-op without a sink.
+  void emit(obs::CacheEvent kind, std::size_t level, std::size_t cache,
+            std::int64_t task, double words) const;
 
   CacheModelSpec model_;
   std::unique_ptr<ReplacementPolicy> repl_;
@@ -140,6 +158,8 @@ class CacheOccupancy {
   std::vector<double> set_capacity_;        ///< per level: Ml / nsets
   std::vector<std::size_t> nsets_;          ///< per level: sets per cache
   std::uint64_t clock_ = 0;
+  obs::TraceSink* sink_ = nullptr;          ///< optional event receiver
+  const double* now_ = nullptr;             ///< simulation clock for events
 };
 
 }  // namespace ndf

@@ -1,6 +1,7 @@
 #include "sched/sim_core.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace ndf {
 
@@ -55,13 +56,23 @@ void SimCore::init_run_state() {
   events_.clear();
   idle_.clear();
   busy_time_ = 0.0;
+  now_ = 0.0;
+  // Ready-time tracking exists only for the queue-wait trace events; the
+  // vector stays empty (and the per-fire branch dead) without a sink.
+  if (opts_.sink != nullptr)
+    ready_at_.assign(num_units(), 0.0);
+  else
+    ready_at_.clear();
 
   stats_ = SchedStats{};
   stats_.total_work = dag_->total_work();
   stats_.atomic_units = num_units();
   stats_.misses.assign(num_levels(), 0.0);
 
-  if (opts_.measure_misses) {
+  // A trace sink wants cache events, so it too turns the occupancy
+  // simulation on; the measured stats are filled only under
+  // measure_misses (run()), keeping sink-only output byte-identical.
+  if (opts_.measure_misses || opts_.sink != nullptr) {
     // The occupancy layer's shape depends only on the machine and the
     // cache-model spec: reuse the existing instance (cleared, capacity
     // kept) while both bindings hold. Service mode additionally keeps the
@@ -75,6 +86,7 @@ void SimCore::init_run_state() {
       occ_ = std::make_unique<CacheOccupancy>(*m_, opts_.cache_model);
       occ_machine_ = m_;
     }
+    occ_->set_trace(opts_.sink, &now_);
   } else {
     occ_.reset();
     occ_machine_ = nullptr;
@@ -178,9 +190,15 @@ void SimCore::fire_vertex(VertexId v) {
     for (const CondensedDag::ArrowRef* a = dag_->arrows_begin(e);
          a != dag_->arrows_end(e); ++a) {
       int& cnt = ext_[a->flat];
-      if (--cnt == 0 && ready_hooks_enabled_)
-        policy_->on_task_ready(a->level,
-                               int(a->flat - dag_->ext_off(a->level)));
+      if (--cnt == 0) {
+        // Tracing: a unit's queue wait starts when its last external
+        // dependence is satisfied (units ready at t=0 keep the default 0).
+        if (!ready_at_.empty() && a->level == 1)
+          ready_at_[a->flat - dag_->ext_off(1)] = now_;
+        if (ready_hooks_enabled_)
+          policy_->on_task_ready(a->level,
+                                 int(a->flat - dag_->ext_off(a->level)));
+      }
     }
     if (--in_deg_[w] == 0 && !fired_[w] && is_control(w))
       cascade_.push_back(w);
@@ -217,6 +235,7 @@ void SimCore::complete_unit(int u) {
 }
 
 void SimCore::dispatch(double now) {
+  now_ = now;
   still_idle_.clear();
   for (std::size_t p : idle_) {
     const Assignment a = policy_->pick(p, now);
@@ -233,6 +252,13 @@ void SimCore::dispatch(double now) {
       opts_.trace->push_back(TraceEvent{now, now + a.duration,
                                         static_cast<std::uint32_t>(p),
                                         dag_->unit_root(a.unit)});
+    if (opts_.sink != nullptr) {
+      opts_.sink->on_queue_wait(ready_at_[std::size_t(a.unit)], now,
+                                static_cast<std::uint32_t>(p), a.unit);
+      opts_.sink->on_unit(now, now + a.duration,
+                          static_cast<std::uint32_t>(p), a.unit,
+                          std::int64_t(dag_->unit_root(a.unit)));
+    }
     push_event(Ev{now + a.duration, p, a.unit});
   }
   idle_.swap(still_idle_);
@@ -241,6 +267,9 @@ void SimCore::dispatch(double now) {
 SchedStats SimCore::run(Scheduler& policy) {
   policy_ = &policy;
   policy.init(*this);
+#ifndef NDEBUG
+  const std::size_t trace_mark = opts_.trace ? opts_.trace->size() : 0;
+#endif
 
   // Dependence counters start from the dag's precomputed template (one
   // external arrow per edge crossing a maximal task boundary, at every
@@ -264,6 +293,7 @@ SchedStats SimCore::run(Scheduler& policy) {
   while (!events_.empty()) {
     const Ev ev = pop_event();
     now = ev.time;
+    now_ = now;  // completion-driven unpins emit cache events at this time
     idle_.push_back(ev.proc);
     ++done;
     complete_unit(ev.unit);
@@ -276,7 +306,10 @@ SchedStats SimCore::run(Scheduler& policy) {
   stats_.makespan = now;
   for (std::size_t l = 1; l <= num_levels(); ++l)
     stats_.miss_cost += stats_.misses[l - 1] * m_->miss_cost(l);
-  if (occ_) {
+  // A sink-only run (tracing without measure_misses) keeps occ_ alive for
+  // cache events but must not report measured stats — emitter output stays
+  // byte-identical to a run with no sink at all.
+  if (occ_ && opts_.measure_misses) {
     stats_.measured_misses = occ_->level_misses();
     for (std::size_t l = 1; l <= num_levels(); ++l)
       stats_.comm_cost += stats_.measured_misses[l - 1] * m_->miss_cost(l);
@@ -299,6 +332,17 @@ SchedStats SimCore::run(Scheduler& policy) {
   }
   stats_.utilization =
       now > 0 ? busy_time_ / (double(m_->num_processors()) * now) : 1.0;
+#ifndef NDEBUG
+  // Debug-mode invariant on every traced run: the unit timeline this run
+  // appended must be a valid schedule.
+  if (opts_.trace) {
+    const Trace slice(opts_.trace->begin() + std::ptrdiff_t(trace_mark),
+                      opts_.trace->end());
+    std::string msg;
+    NDF_CHECK_MSG(validate_trace(slice, m_->num_processors(), &msg),
+                  policy.name() << " produced an invalid trace: " << msg);
+  }
+#endif
   return stats_;
 }
 

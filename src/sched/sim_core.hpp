@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/events.hpp"
 #include "pmh/machine.hpp"
 #include "pmh/occupancy.hpp"
 #include "sched/condensed_dag.hpp"
@@ -75,6 +76,14 @@ struct SchedOptions {
   /// Irrelevant (and zero) outside service mode.
   std::int64_t occ_task_base = 0;
   Trace* trace = nullptr;     ///< optional per-unit execution trace sink
+  /// Structured event sink (obs/events.hpp): unit executions, dispatch-
+  /// queue waits, and — because attaching a sink turns the occupancy
+  /// simulation on even without measure_misses — cache hit/miss/evict/
+  /// pin/unpin events. Strictly observational: stats and emitter outputs
+  /// are byte-identical with or without a sink (measured_misses stays
+  /// empty unless measure_misses is also set); when null the hot paths pay
+  /// one pointer test. The sweep engines attach one to grid cell 0 only.
+  obs::TraceSink* sink = nullptr;
 
   // Space-bounded family.
   double alpha_prime = 1.0;  ///< allocation exponent α' = min{αmax, 1}
@@ -240,9 +249,11 @@ class SimCore {
   /// Mutable during a run: policies account misses/anchors/steals here.
   SchedStats& stats() { return stats_; }
 
-  // --- simulated occupancy (opts.measure_misses) --------------------------
-  /// True when this run simulates LRU cache occupancy and will report
-  /// measured Q_i / comm_cost in its stats.
+  // --- simulated occupancy (opts.measure_misses or opts.sink) -------------
+  /// True when this run simulates cache occupancy — because it measures
+  /// Q_i (opts.measure_misses) and/or traces cache events (opts.sink).
+  /// Measured Q_i / comm_cost are reported in stats only under
+  /// measure_misses.
   bool measuring() const { return occ_ != nullptr; }
   /// Space-bounded reservation hooks: pin the footprint of level-`level`
   /// maximal task `task` in cache `cache` (anchoring) so occupancy
@@ -316,12 +327,17 @@ class SimCore {
   mutable const Pmh* dur_machine_ = nullptr;
   mutable bool dur_charge_ = true;
 
-  std::unique_ptr<CacheOccupancy> occ_;  // only when opts.measure_misses
+  std::unique_ptr<CacheOccupancy> occ_;  // when measuring and/or tracing
   const Pmh* occ_machine_ = nullptr;     // machine occ_ was shaped for
                                          // (its model spec lives in occ_)
 
   SchedStats stats_;
   double busy_time_ = 0.0;
+  // Tracing state (only touched when opts_.sink is set, except now_ which
+  // tracks the event-loop clock unconditionally — occupancy trace events
+  // read it by pointer).
+  double now_ = 0.0;
+  std::vector<double> ready_at_;  // per unit: last ext dependence satisfied
 };
 
 }  // namespace ndf

@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/progress.hpp"
 #include "pmh/presets.hpp"
 #include "sched/condensed_dag.hpp"
 #include "sched/registry.hpp"
@@ -16,14 +17,10 @@ namespace ndf::serve {
 
 namespace {
 
-/// Nearest-rank percentile of an ascending-sorted sample: the smallest
-/// value with at least q·N of the sample at or below it (docs/metrics.md).
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t rank = std::size_t(
-      std::max(1.0, std::ceil(q * double(sorted.size()))));
-  return sorted[std::min(rank, sorted.size()) - 1];
-}
+// Nearest-rank percentiles (docs/metrics.md) come from the shared tested
+// implementation in obs/metrics.hpp — byte-identical to the formula that
+// used to live here.
+using obs::nearest_rank;
 
 /// The resolved, deterministic inputs every cell shares: built workloads,
 /// job streams with workload/tenant ids resolved, and the occupancy
@@ -93,15 +90,18 @@ bool fifo_before(const Admission& a, const Admission& b) {
 /// and immutable; everything it writes is local or the caller's slot.
 class CellRunner {
  public:
+  /// `sink` is the scenario's trace sink for grid cell 0, null elsewhere.
   CellRunner(const ServeScenario& s, const StreamPlan& plan, const Pmh& m,
              double sigma, const std::string& policy,
-             const std::vector<const CondensedDag*>& dags)
+             const std::vector<const CondensedDag*>& dags,
+             obs::TraceSink* sink)
       : s_(s),
         plan_(plan),
         m_(m),
         sigma_(sigma),
         policy_(policy),
         dags_(dags),
+        sink_(sink),
         edf_(scheduler_deadline_aware(policy)) {}
 
   void run(ServeCell& cell) {
@@ -134,6 +134,20 @@ class CellRunner {
         std::int64_t(a.tenant_id * plan_.specs.size() + a.widx) << 32;
     opts.seed = s_.base_seed + a.job.index;
 
+    // Tracing: the job's lifecycle in global service time, and its
+    // simulation events shifted from the job-local clock (which restarts
+    // at 0) onto the same axis — offset by the admission time.
+    obs::OffsetSink offset(sink_, now);
+    if (sink_ != nullptr) {
+      const std::int64_t jid = std::int64_t(a.job.index);
+      sink_->on_job(obs::JobEvent::kArrival, a.job.arrival, jid,
+                    std::uint32_t(a.tenant_id), a.job.tenant.c_str());
+      const std::string wlabel = a.job.workload.label();
+      sink_->on_job(obs::JobEvent::kAdmit, now, jid,
+                    std::uint32_t(a.tenant_id), wlabel.c_str());
+      opts.sink = &offset;
+    }
+
     const CondensedDag& dag = *dags_[a.widx];
     const auto sched = make_scheduler(policy_, opts);
     if (core_)
@@ -162,6 +176,14 @@ class CellRunner {
       rec.comm_cost = stats.comm_cost - cum_comm_;
       cum_misses_ = stats.measured_misses;
       cum_comm_ = stats.comm_cost;
+    }
+    if (sink_ != nullptr) {
+      const std::int64_t jid = std::int64_t(a.job.index);
+      sink_->on_job(obs::JobEvent::kComplete, rec.completion, jid,
+                    std::uint32_t(a.tenant_id), "");
+      if (!rec.deadline_met)
+        sink_->on_job(obs::JobEvent::kDeadlineMiss, rec.completion, jid,
+                      std::uint32_t(a.tenant_id), "");
     }
     const double completion = rec.completion;
     cell.jobs.push_back(std::move(rec));
@@ -244,8 +266,11 @@ class CellRunner {
   void summarize(ServeCell& cell) {
     ServeSummary& sum = cell.summary;
     sum.completed = cell.jobs.size();
+    // Created before the idle early-out so the report's `metrics` key has
+    // both (empty) histograms even for a jobless cell.
+    obs::Log2Histogram& lat_hist = sum.metrics.histogram("latency");
+    obs::Log2Histogram& wait_hist = sum.metrics.histogram("queue_wait");
     if (cell.jobs.empty()) return;  // idle service: zeros, fairness 1
-
     std::vector<double> latencies;
     latencies.reserve(cell.jobs.size());
     std::map<std::string, double> share;
@@ -254,6 +279,8 @@ class CellRunner {
       sum.horizon = std::max(sum.horizon, r.completion);
       latencies.push_back(r.latency);
       lat_total += r.latency;
+      lat_hist.record(r.latency);
+      wait_hist.record(r.start - r.job.arrival);
       busy_weighted += r.utilization * r.service;
       share[r.job.tenant] += r.service;
       if (r.job.has_deadline()) {
@@ -274,9 +301,9 @@ class CellRunner {
     }
     std::sort(latencies.begin(), latencies.end());
     sum.latency_mean = lat_total / double(latencies.size());
-    sum.latency_p50 = percentile(latencies, 0.50);
-    sum.latency_p99 = percentile(latencies, 0.99);
-    sum.latency_p999 = percentile(latencies, 0.999);
+    sum.latency_p50 = nearest_rank(latencies, 0.50);
+    sum.latency_p99 = nearest_rank(latencies, 0.99);
+    sum.latency_p999 = nearest_rank(latencies, 0.999);
     sum.latency_max = latencies.back();
     sum.tenants = share.size();
     if (share.size() > 1) {
@@ -299,6 +326,7 @@ class CellRunner {
   double sigma_;
   const std::string& policy_;
   const std::vector<const CondensedDag*>& dags_;
+  obs::TraceSink* sink_;
   bool edf_;
   // One simulator core serves the whole stream: reset()-rebound per job,
   // occupancy carried across jobs when measuring.
@@ -409,21 +437,26 @@ const std::vector<ServeCell>& ServeSweep::run() {
     // every workload's condensation: the dag table is dense, profile-major.
     std::vector<std::unique_ptr<CondensedDag>> dags(profiles.size() * S * W);
     std::vector<CellSlot> slots(cells);
+    obs::ProgressMeter progress(scenario_.progress, scenario_.name);
     ThreadPool pool(jobs);  // after the data its tasks touch (exp/sweep.cpp)
 
     // Phase 1: build each distinct workload once, in parallel.
     {
+      progress.begin_phase("workloads", W);
       std::vector<std::future<void>> futs;
       futs.reserve(W);
       for (std::size_t w = 0; w < W; ++w)
-        futs.push_back(pool.submit([w, &plan] {
+        futs.push_back(pool.submit([w, &plan, &progress] {
           plan.built[w] = std::make_unique<exp::Workload>(plan.specs[w]);
+          progress.tick();
         }));
       wait_all(futs);
+      progress.finish();
     }
 
     // Phase 2: build each (workload, σ, profile) condensation once.
     {
+      progress.begin_phase("condensations", dags.size());
       std::vector<std::future<void>> futs;
       futs.reserve(dags.size());
       for (std::size_t p = 0; p < profiles.size(); ++p)
@@ -431,21 +464,24 @@ const std::vector<ServeCell>& ServeSweep::run() {
           for (std::size_t w = 0; w < W; ++w) {
             const std::size_t k = (p * S + g) * W + w;
             futs.push_back(pool.submit([this, k, p, g, w, &plan, &profiles,
-                                        &dags] {
+                                        &dags, &progress] {
               dags[k] = std::make_unique<CondensedDag>(
                   plan.built[w]->graph(), profiles[p], scenario_.sigmas[g]);
+              progress.tick();
             }));
           }
       wait_all(futs);
+      progress.finish();
     }
 
     // Phase 3: fan the cells out; each writes only its own padded slot, so
     // the merged vector is in grid order and output is byte-identical at
     // any worker count.
+    progress.begin_phase("cells", cells);
     parallel_for_chunks(
         pool, cells, 4 * jobs,
-        [this, S, W, &plan, &machines, &machine_profile, &dags,
-         &slots](std::size_t b, std::size_t e) {
+        [this, S, W, &plan, &machines, &machine_profile, &dags, &slots,
+         &progress](std::size_t b, std::size_t e) {
           for (std::size_t i = b; i < e; ++i) {
             // Grid order: machine-major, then σ, then policy.
             const std::size_t m = i / (S * scenario_.policies.size());
@@ -457,12 +493,16 @@ const std::vector<ServeCell>& ServeSweep::run() {
             for (std::size_t w = 0; w < W; ++w)
               cell_dags[w] = dags[base + w].get();
             slots[i].cell.machine = scenario_.machines[m];
+            // Cell 0 (one cell, one worker) carries the trace sink.
             CellRunner runner(scenario_, plan, machines[m],
                               scenario_.sigmas[g], scenario_.policies[p],
-                              cell_dags);
+                              cell_dags,
+                              i == 0 ? scenario_.trace_sink : nullptr);
             runner.run(slots[i].cell);
+            progress.tick();
           }
         });
+    progress.finish();
 
     results_.reserve(cells);
     for (CellSlot& s : slots) results_.push_back(std::move(s.cell));

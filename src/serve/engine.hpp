@@ -34,6 +34,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "pmh/cache_model.hpp"
 #include "serve/arrivals.hpp"
 
@@ -64,6 +66,15 @@ struct ServeScenario {
   /// state history, not a comparable cell. Default keeps all output
   /// byte-identical to the pre-registry engine.
   CacheModelSpec cache_model;
+  /// Structured tracing (`--trace-out`): the sink attached to grid cell 0
+  /// only (one cell = one worker, so the sink needs no locking). Job
+  /// lifecycle events arrive in global service time; each admitted job's
+  /// simulation events are shifted onto the same axis (obs::OffsetSink).
+  /// Observational only: all reports stay byte-identical. Not owned.
+  obs::TraceSink* trace_sink = nullptr;
+  /// `--progress`: stderr heartbeat while the grid runs (`--soak` cells
+  /// are slow; this is the only sign of life). stdout is unaffected.
+  bool progress = false;
 };
 
 /// One served job: the resolved spec plus its service trajectory.
@@ -100,6 +111,11 @@ struct ServeSummary {
   /// measuring), and their total cost.
   std::vector<double> measured_misses;
   double comm_cost = 0.0;
+  /// Streaming histograms over the cell's jobs (obs/metrics.hpp), emitted
+  /// under the JSON report's `metrics` key: `latency` (completion −
+  /// arrival) and `queue_wait` (admission start − arrival). Always filled;
+  /// the exact nearest-rank percentiles above remain the summary columns.
+  obs::MetricsRegistry metrics;
 };
 
 /// One executed grid cell: coordinates, the served jobs in execution

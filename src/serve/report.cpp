@@ -140,6 +140,10 @@ void write_serve_json(std::ostream& os, const std::string& name,
       }
       os << "]";
     }
+    // Streaming histograms (obs/metrics.hpp): latency and queue_wait per
+    // cell, alongside — not replacing — the exact percentiles above.
+    os << ", \"metrics\": ";
+    s.metrics.write_json(os);
     os << "},\n     \"jobs\": [";
     for (std::size_t j = 0; j < c.jobs.size(); ++j) {
       const JobRecord& r = c.jobs[j];

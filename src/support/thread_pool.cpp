@@ -1,13 +1,16 @@
 #include "support/thread_pool.hpp"
 
+#include <chrono>
+
 namespace ndf {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   NDF_CHECK_MSG(threads >= 1,
                 "thread pool needs at least one worker (got 0)");
+  stats_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -28,7 +31,23 @@ void ThreadPool::enqueue(std::function<void()> fn) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+thread_local std::size_t ThreadPool::tls_worker_ = std::size_t(-1);
+
+ThreadPool::AccountingGuard::~AccountingGuard() {
+  if (tls_worker_ == std::size_t(-1)) return;  // not on a pool worker
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Accounting rides the existing queue lock: one uncontended lock/unlock
+  // per *task* (tasks are chunk-sized in the sweep), and worker_stats()
+  // snapshots race-free under the same lock.
+  std::lock_guard<std::mutex> lk(pool->mu_);
+  pool->stats_[tls_worker_].busy_s += dt;
+  ++pool->stats_[tls_worker_].tasks;
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  tls_worker_ = worker;
   for (;;) {
     std::function<void()> fn;
     {
@@ -42,6 +61,11 @@ void ThreadPool::worker_loop() {
     }
     fn();
   }
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
 }
 
 std::size_t ThreadPool::default_jobs() {

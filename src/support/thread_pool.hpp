@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -53,8 +54,16 @@ class ThreadPool {
   auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
     // packaged_task is move-only and std::function requires copyable
-    // callables, so the task rides in a shared_ptr.
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    // callables, so the task rides in a shared_ptr. The accounting guard
+    // lives *inside* the packaged_task, so its stats update completes
+    // before the future is satisfied: worker_stats() after wait_all()
+    // counts every finished task, with no window where a waiter observes
+    // the result but not the accounting.
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [this, fn = std::forward<F>(f)]() mutable -> R {
+          const AccountingGuard guard(this);
+          return fn();
+        });
     std::future<R> fut = task->get_future();
     enqueue([task] { (*task)(); });
     return fut;
@@ -64,14 +73,47 @@ class ThreadPool {
   /// "unknown"). The default worker count for `--jobs=0` / unset.
   static std::size_t default_jobs();
 
+  /// Per-worker self-profiling: wall-clock spent inside tasks and tasks
+  /// executed, accumulated since construction. Everything not busy_s since
+  /// the pool started is idle (queue waits + cv sleeps) — the imbalance
+  /// signal `ndf_sweep --phase-times` prints per worker.
+  struct WorkerStats {
+    double busy_s = 0.0;
+    std::size_t tasks = 0;
+  };
+
+  /// Snapshot of every worker's stats (index = worker). Taken under the
+  /// queue lock; safe to call while tasks run, but a quiescent pool (after
+  /// wait_all) gives exact totals.
+  std::vector<WorkerStats> worker_stats();
+
  private:
+  /// Times one task and books it to the executing worker on destruction —
+  /// including when the task throws. Runs inside the packaged_task (see
+  /// submit), which is what orders the update before future satisfaction.
+  struct AccountingGuard {
+    explicit AccountingGuard(ThreadPool* p)
+        : pool(p), t0(std::chrono::steady_clock::now()) {}
+    ~AccountingGuard();
+    AccountingGuard(const AccountingGuard&) = delete;
+    AccountingGuard& operator=(const AccountingGuard&) = delete;
+    ThreadPool* pool;
+    std::chrono::steady_clock::time_point t0;
+  };
+
   void enqueue(std::function<void()> fn);
-  void worker_loop();
+  void worker_loop(std::size_t worker);
+
+  /// Index of the pool worker executing on this thread (set by
+  /// worker_loop; SIZE_MAX on non-worker threads, where the guard books
+  /// nothing).
+  static thread_local std::size_t tls_worker_;
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  std::vector<WorkerStats> stats_;  // guarded by mu_
   std::vector<std::thread> workers_;
 };
 

@@ -130,6 +130,27 @@ TEST(ThreadPool, ParallelForChunksRethrowsAfterSiblingsFinish) {  // P6
   EXPECT_EQ(completed.load(), 9);
 }
 
+TEST(ThreadPool, WorkerStatsAccountForEveryTask) {
+  ThreadPool pool(3);
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 60; ++i)
+    futs.push_back(pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }));
+  wait_all(futs);
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  std::size_t tasks = 0;
+  for (const auto& w : stats) {
+    tasks += w.tasks;
+    EXPECT_GE(w.busy_s, 0.0);
+    if (w.tasks > 0) {
+      EXPECT_GT(w.busy_s, 0.0);
+    }
+  }
+  EXPECT_EQ(tasks, 60u);
+}
+
 TEST(ThreadPool, ManyTasksAcrossManyWorkersRunExactlyOnce) {  // P5
   std::atomic<int> ran{0};
   ThreadPool pool(8);

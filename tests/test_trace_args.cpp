@@ -65,6 +65,32 @@ TEST(TraceTest, ValidateCatchesOverlap) {
   EXPECT_FALSE(msg.empty());
 }
 
+TEST(TraceTest, ValidateCatchesEndBeforeStart) {
+  Trace trace;
+  trace.push_back({10.0, 4.0, 0, 0});  // runs backwards
+  std::string msg;
+  EXPECT_FALSE(validate_trace(trace, 1, &msg));
+  EXPECT_EQ(msg, "malformed trace event");
+}
+
+TEST(TraceTest, ValidateCatchesOutOfRangeProcessor) {
+  Trace trace;
+  trace.push_back({0.0, 1.0, 4, 0});  // proc 4 on a 4-processor machine
+  std::string msg;
+  EXPECT_FALSE(validate_trace(trace, 4, &msg));
+  EXPECT_EQ(msg, "malformed trace event");
+  // The same event is fine on a machine that has the processor.
+  EXPECT_TRUE(validate_trace(trace, 5, &msg));
+}
+
+TEST(TraceTest, BackToBackUnitsOnOneProcessorAreValid) {
+  Trace trace;
+  trace.push_back({0.0, 5.0, 0, 0});
+  trace.push_back({5.0, 9.0, 0, 1});  // touching intervals don't overlap
+  std::string msg;
+  EXPECT_TRUE(validate_trace(trace, 1, &msg)) << msg;
+}
+
 TEST(ArgsTest, ParsesTypedFlags) {
   const char* argv[] = {"prog", "--n=128", "--sigma=0.25", "--verbose",
                         "--mode=fast"};
