@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Native-executor gate: measures real-thread wall-clock scaling and sanity-
+# checks the work-stealing accounting.
+#
+#   1. Runs `ndf_native --smoke` — hard correctness assertions (every
+#      strand exactly once, worker accounting partitions the totals) at
+#      several thread counts in both ws and sb modes.
+#   2. Runs the measurement grid (two compute-heavy workloads, ws+sb,
+#      best-of-3 at 1 and NATIVE_THREADS threads) and emits
+#      BENCH_native.json — uploaded as a CI artifact so the native scaling
+#      trajectory (and how it tracks the simulator's predicted speedup) is
+#      recorded across commits.
+#   3. Sanity bounds on the accounting, which FAIL hard: a 1-thread run
+#      must report zero steals, successful steals can never exceed strands
+#      executed or attempts made, and sb runs on a hierarchical machine
+#      must have recorded anchors.
+#   4. Speedup at NATIVE_THREADS below MIN_NATIVE_SPEEDUP warns by default
+#      (shared CI runners oversubscribe cores; a laptop container may have
+#      one) and fails under PERF_GATE_STRICT=1 — same contract as
+#      scripts/ci_perf_gate.sh.
+#
+# Usage: scripts/ci_native_gate.sh <build-dir> [threads]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: ci_native_gate.sh <build-dir> [threads]}
+NATIVE_THREADS=${2:-4}
+MIN_NATIVE_SPEEDUP=${MIN_NATIVE_SPEEDUP:-1.5}
+
+if [[ ! -x "$BUILD_DIR/ndf_native" ]]; then
+  echo "FAIL: $BUILD_DIR/ndf_native not found or not executable —" \
+       "build it first: cmake --build $BUILD_DIR --target ndf_native" >&2
+  exit 1
+fi
+OUT="$BUILD_DIR/native-gate"
+mkdir -p "$OUT"
+
+# --- correctness smoke ---------------------------------------------------
+"$BUILD_DIR/ndf_native" --smoke > "$OUT/smoke.txt"
+tail -1 "$OUT/smoke.txt"
+
+# --- measured scaling + artifact ----------------------------------------
+# Compute-heavy spin workloads so thread startup is noise: the sp tree and
+# the blocked multiply both take >= ~0.5 s serially at --spin=2000.
+"$BUILD_DIR/ndf_native" \
+    --workloads='mm:n=48;gen:family=sp,depth=9,fan=4,work=32,seed=11' \
+    --threads="1,$NATIVE_THREADS" --sched=ws,sb --machine=deep2x4 \
+    --reps=3 --spin=2000 \
+    --json="$BUILD_DIR/BENCH_native.json" > "$OUT/scaling.txt"
+cat "$OUT/scaling.txt"
+
+# --- sanity bounds + speedup gate ---------------------------------------
+python3 - "$BUILD_DIR/BENCH_native.json" "$NATIVE_THREADS" \
+    "$MIN_NATIVE_SPEEDUP" <<'EOF'
+import json, os, sys
+path, threads, min_speedup = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+doc = json.load(open(path))
+scaling = next(t for t in doc["tables"] if t["title"].startswith("native scaling"))
+cols = {name: i for i, name in enumerate(scaling["header"])}
+rows = [dict(zip(scaling["header"], r)) for r in scaling["rows"]]
+
+failures = []
+for r in rows:
+    tag = f'{r["workload"]} {r["mode"]} @{r["threads"]}t'
+    if r["threads"] == 1 and r["steals"] != 0:
+        failures.append(f"{tag}: {r['steals']} steals on one worker")
+    if r["steals"] > r["strands"]:
+        failures.append(f"{tag}: steals {r['steals']} > strands {r['strands']}")
+    if r["steals"] > r["attempts"]:
+        failures.append(f"{tag}: steals {r['steals']} > attempts {r['attempts']}")
+    if r["mode"] == "sb" and r["threads"] > 1 and r["anchors"] == 0:
+        failures.append(f"{tag}: sb run recorded no anchors")
+    if not (0.0 <= r["busy_frac"] <= 1.0 + 1e-9):
+        failures.append(f"{tag}: busy fraction {r['busy_frac']} outside [0,1]")
+if failures:
+    sys.exit("FAIL: native accounting sanity violated:\n  " +
+             "\n  ".join(failures))
+print(f"OK: accounting sane across {len(rows)} native runs "
+      "(zero steals serial, steals <= strands <= attempts bounds, "
+      "sb anchors recorded, busy fractions in [0,1])")
+
+slow = []
+for r in rows:
+    if r["threads"] != threads:
+        continue
+    tag = f'{r["workload"]} {r["mode"]}'
+    print(f"{tag}: {r['best_s']:.3f}s at {threads} threads, speedup "
+          f"{r['speedup']:.2f}x (sim predicts {r['sim_speedup']:.2f}x, "
+          f"target > {min_speedup}x), {r['steals']} steals")
+    if r["speedup"] < min_speedup:
+        slow.append(f"{tag} speedup {r['speedup']:.2f}x below "
+                    f"target {min_speedup}x")
+if slow:
+    msg = "; ".join(slow)
+    if os.environ.get("PERF_GATE_STRICT") == "1":
+        sys.exit(f"FAIL: {msg}")
+    print(f"WARN: {msg} (non-fatal; PERF_GATE_STRICT=1 to enforce)")
+EOF
+
+echo "OK: native gate done (BENCH_native.json)"

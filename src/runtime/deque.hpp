@@ -81,6 +81,10 @@ class WsDeque {
            bottom_.load(std::memory_order_acquire);
   }
 
+  /// Usable capacity: push() checks overflow against this (one slot of the
+  /// power-of-two ring is sacrificed to keep the full/empty cases apart).
+  std::size_t capacity() const { return mask_; }
+
  private:
   std::atomic<std::int64_t> top_{0};
   std::atomic<std::int64_t> bottom_{0};

@@ -1,30 +1,136 @@
-// Real-thread executor for elaborated ND programs — the runtime prototype:
+// Real-thread executor for elaborated ND programs — the native backend:
 // a Cilk/TBB-style work-stealing pool whose tasks are the strands of the
 // algorithm DAG and whose dependencies are the DAG's edges, tracked with
 // atomic join counters. A strand becomes stealable work the moment its last
 // incoming dataflow arrow is satisfied, which is precisely the fire
 // construct's "create sink tasks as partial dependencies are met" execution
 // policy (Sec. 5 discussion).
+//
+// Two scheduling modes mirror the simulator's policy registry:
+//   * ws — randomized work stealing: every worker owns a Chase-Lev deque
+//     (runtime/deque.hpp) and steals from seeded-PRNG-chosen victims.
+//   * sb — space-bounded-aware: strands are anchored to *worker groups*
+//     the way the simulator's sb policy anchors task footprints to caches.
+//     Maximal subtrees fitting σ·M_i are bound (least-loaded, determinis-
+//     tically) to the workers under one level-i cache of the PMH preset,
+//     and stealing never moves a strand outside its anchor group, so a
+//     task's footprint stays under the cache its group shares.
+//
+// Everything is measured: wall-clock, successful/attempted steals,
+// cross-group handoffs, and per-worker busy time / strand counts (the
+// native mirror of ThreadPool::WorkerStats), so bench/ndf_native can
+// compare native scaling curves against simulated makespan ratios.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "nd/graph.hpp"
 
 namespace ndf {
 
+class Pmh;
+
+/// Which native scheduling discipline runs the DAG.
+enum class ExecMode : std::uint8_t {
+  Ws,  ///< global randomized work stealing
+  Sb,  ///< space-bounded: group-anchored stealing over a PMH's cache tree
+};
+
+/// Chaos-scheduling knobs for the stress harness: deterministic per-strand
+/// delays (derived from `seed` and the strand's node id, not from the
+/// worker that happens to run it) perturb interleavings so races reproduce
+/// from a printed seed instead of a lucky rerun. The steal-order PRNGs
+/// already derive from ExecOptions::seed, so (seed, chaos.seed, threads,
+/// mode) pins the whole schedule-perturbation down.
+struct ChaosOptions {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  /// Upper bound (exclusive) on the pre- and post-body spin delays, in
+  /// spin-loop iterations. 0 disables delays even when enabled.
+  std::uint32_t max_delay_spins = 256;
+};
+
+struct ExecOptions {
+  std::size_t threads = 0;  ///< worker count; 0 = hardware concurrency
+  ExecMode mode = ExecMode::Ws;
+  std::uint64_t seed = 42;  ///< steal-victim PRNG seed (per worker: seed^ix)
+  /// PMH machine whose cache tree defines the sb worker groups (and the
+  /// pinning layout). Required for Sb mode; ignored in Ws mode except by
+  /// pin_threads. Workers map onto the machine's processors proportionally
+  /// when the counts differ. Not owned.
+  const Pmh* machine = nullptr;
+  double sigma = 1.0 / 3.0;  ///< sb anchoring dilation: groups get σM_i
+  /// Pin worker i to cpu i (Linux sched_setaffinity; no-op elsewhere), so
+  /// contiguous sb groups land on contiguous cores the way the presets
+  /// assume sockets are contiguous. Off by default: CI runners and laptops
+  /// migrate better unpinned.
+  bool pin_threads = false;
+  ChaosOptions chaos;
+};
+
+/// Per-worker native accounting (index = worker id).
+struct WorkerReport {
+  double busy_s = 0.0;          ///< wall-clock inside strand bodies
+  std::size_t strands = 0;      ///< strands this worker executed
+  std::size_t steals = 0;       ///< successful steals by this worker
+  std::size_t steal_attempts = 0;  ///< steal() calls incl. empty/aborted
+};
+
 struct ExecReport {
   double seconds = 0.0;
   std::size_t strands = 0;
-  std::size_t steals = 0;
+  std::size_t steals = 0;          ///< Σ workers' successful steals
+  std::size_t steal_attempts = 0;  ///< Σ workers' attempts
+  /// Sb mode: strands handed to another group's inbox because the worker
+  /// that made them ready (or stole them) is outside their anchor group.
+  std::size_t handoffs = 0;
+  /// Sb mode: subtree→group anchors recorded by the plan (see AnchorPlan).
+  std::size_t anchors = 0;
+  std::vector<WorkerReport> workers;
 };
 
-/// Runs every strand body in `g` on `num_threads` workers, respecting the
+/// The sb anchor plan: for every spawn-tree node that is a strand, the
+/// half-open worker range its execution is confined to. Computed once per
+/// run (deterministically — least-loaded-by-work tie-broken by cache
+/// index), exposed so tests can assert group confinement and ndf_native
+/// can report it.
+struct AnchorPlan {
+  struct Range {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;  ///< exclusive; [0, workers) = unconstrained
+  };
+  /// Indexed by NodeId; meaningful for strand nodes only.
+  std::vector<Range> strand_group;
+  /// Number of subtree→cache anchors that actually narrowed a group.
+  std::size_t anchors = 0;
+};
+
+/// Mirrors the simulator's space-bounded anchoring onto `workers` real
+/// threads: walks the spawn tree, and each subtree that is maximal with
+/// respect to σ·M_i (fits, parent does not) is anchored to the worker
+/// range under one level-i cache — the least-loaded eligible one — of
+/// `machine`'s cache tree. Strands inherit the innermost anchor above
+/// them. Workers map onto processors proportionally when counts differ.
+AnchorPlan plan_anchors(const SpawnTree& tree, const Pmh& machine,
+                        double sigma, std::size_t workers);
+
+/// Runs every strand body in `g` on opts.threads workers, respecting the
 /// DAG's dependencies. Strands without bodies are treated as no-ops.
+/// Throws CheckError on inconsistent options (Sb without a machine).
+ExecReport execute(const StrandGraph& g, const ExecOptions& opts);
+
+/// Legacy convenience: Ws mode with default seed.
 ExecReport execute_parallel(const StrandGraph& g, std::size_t num_threads);
 
 /// Runs every strand body once, serially, in a topological order of the
-/// DAG. Used as the determinism baseline in tests.
+/// DAG. The determinism baseline in tests and benches.
 ExecReport execute_serial(const StrandGraph& g);
+
+/// Index of the executor worker running on the current thread, or SIZE_MAX
+/// outside a worker. The execution oracle (runtime/oracle.hpp) records it
+/// per strand so tests can check sb group confinement.
+std::size_t current_worker();
 
 }  // namespace ndf

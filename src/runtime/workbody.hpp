@@ -1,0 +1,31 @@
+// Synthetic strand payloads for structure-only trees: the workload
+// registry (src/exp) and the generator (src/gen) build trees whose strands
+// declare work in abstract instruction counts but carry no executable
+// body. To measure native wall-clock scaling on those graphs, ndf_native
+// attaches a calibrated spin body to every body-less strand: `work ×
+// spins_per_work` iterations of an optimizer-proof spin loop, so relative
+// strand durations mirror the declared work the simulator charges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nd/spawn_tree.hpp"
+
+namespace ndf {
+
+/// Burns `iters` spin iterations; never optimized away.
+void spin_work(std::uint64_t iters);
+
+/// Gives every body-less strand under the root a spin body of
+/// `work × spins_per_work` iterations (clamped to at least 1). Strands
+/// that already have a body keep it. Returns the number of bodies
+/// attached.
+std::size_t attach_spin_bodies(SpawnTree& tree, double spins_per_work);
+
+/// Measured spin-loop rate of this machine, in iterations per second
+/// (one-shot calibration over a few milliseconds). Lets drivers size
+/// spins_per_work so a workload's serial run hits a target duration.
+double spin_rate_per_second();
+
+}  // namespace ndf

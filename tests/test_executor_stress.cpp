@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 
 #include "nd/drs.hpp"
+#include "pmh/presets.hpp"
 #include "runtime/executor.hpp"
 #include "support/rng.hpp"
 
@@ -107,6 +109,115 @@ INSTANTIATE_TEST_SUITE_P(
       return "seed" + std::to_string(i.param.seed) + "t" +
              std::to_string(i.param.threads);
     });
+
+// ------------------------------------------------------- chaos scheduling
+//
+// Fuzz the executor's schedule space: random trees, random thread counts,
+// random modes (ws / sb over random machine presets), with chaos delays
+// injected before and after every strand body so steal interleavings vary
+// wildly between iterations. Every perturbation derives deterministically
+// from the iteration's chaos seed, and every failure prints a one-line
+// reproduction recipe. NDF_CHAOS_ITERS scales the loop: the sanitizer CI
+// jobs run the short default, nightly cranks it up.
+
+std::size_t chaos_iters() {
+  if (const char* e = std::getenv("NDF_CHAOS_ITERS")) {
+    const long v = std::atol(e);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 6;
+}
+
+TEST(ExecutorChaos, FuzzedSchedulesStayCorrect) {
+  const Pmh machines[] = {make_pmh("flat8"), make_pmh("deep2x4")};
+  const std::size_t iters = chaos_iters();
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const std::uint64_t master = 0xC4A05ULL * (iter + 1);
+    Rng rng(master);
+    SpawnTree t;
+    std::vector<FireType> types;
+    const FireType full = t.rules().add_type("FULLISH");
+    t.rules().add_rule(full, {1}, FireRules::kFull, {1});
+    t.rules().add_rule(full, {2}, FireRules::kFull, {1});
+    const FireType sparse = t.rules().add_type("SPARSE");
+    t.rules().add_rule(sparse, {1}, sparse, {1});
+    types = {full, sparse};
+
+    Recorder rec(1 << 12);
+    std::size_t next = 0;
+    t.set_root(random_tree(t, rng, rec, types, 8, next));
+    if (t.node(t.root()).kind == Kind::Strand) continue;
+
+    ExecOptions opts;
+    opts.threads = 2 + rng.below(7);  // 2..8
+    opts.seed = rng();           // steal-order fuzz
+    opts.chaos.enabled = true;
+    opts.chaos.seed = rng();     // strand-delay fuzz
+    opts.chaos.max_delay_spins = 1u << (4 + rng.below(6));  // 16..512
+    const bool sb = rng.uniform() < 0.5;
+    if (sb) {
+      opts.mode = ExecMode::Sb;
+      opts.machine = &machines[rng.below(2)];
+    }
+    // The full recipe: reconstructing `master` regenerates the tree and
+    // every option above, so this line alone reproduces the schedule.
+    const std::string recipe =
+        "NDF_CHAOS repro: iter=" + std::to_string(iter) +
+        " master_seed=" + std::to_string(master) +
+        " threads=" + std::to_string(opts.threads) +
+        " mode=" + (sb ? std::string("sb") : std::string("ws")) +
+        " exec_seed=" + std::to_string(opts.seed) +
+        " chaos_seed=" + std::to_string(opts.chaos.seed) +
+        " max_delay_spins=" + std::to_string(opts.chaos.max_delay_spins);
+
+    StrandGraph g = elaborate(t);
+    const ExecReport r = execute(g, opts);
+    ASSERT_EQ(r.strands, next) << recipe;
+    for (std::size_t i = 0; i < next; ++i)
+      ASSERT_EQ(rec.runs[i].load(), 1) << "strand " << i << "\n" << recipe;
+    auto strand_ix = [&](NodeId n) {
+      return std::stoul(t.node(n).label.substr(1));
+    };
+    for (const TaskArrow& a : g.arrows()) {
+      std::uint64_t src_end = 0, dst_start = ~0ULL;
+      for (NodeId s : t.strands_under(a.from))
+        src_end = std::max(src_end, rec.end[strand_ix(s)]);
+      for (NodeId s : t.strands_under(a.to))
+        dst_start = std::min(dst_start, rec.start[strand_ix(s)]);
+      ASSERT_LT(src_end, dst_start)
+          << "arrow " << a.from << "->" << a.to << " violated\n" << recipe;
+    }
+  }
+}
+
+TEST(ExecutorChaos, SameSeedSameStealCounts) {
+  // Chaos perturbations are a pure function of (chaos seed, strand id), and
+  // single-worker runs have no steal nondeterminism — so a 1-thread chaos
+  // run must be bitwise repeatable in its report, and a multi-thread run
+  // must stay correct when repeated with identical seeds.
+  Rng rng(99);
+  SpawnTree t;
+  std::vector<FireType> types;
+  const FireType sparse = t.rules().add_type("SPARSE");
+  t.rules().add_rule(sparse, {1}, sparse, {1});
+  types = {sparse};
+  Recorder rec(1 << 12);
+  std::size_t next = 0;
+  t.set_root(random_tree(t, rng, rec, types, 8, next));
+  if (t.node(t.root()).kind == Kind::Strand)
+    GTEST_SKIP() << "degenerate single-strand tree";
+  StrandGraph g = elaborate(t);
+
+  ExecOptions opts;
+  opts.threads = 1;
+  opts.chaos.enabled = true;
+  opts.chaos.seed = 7;
+  const ExecReport a = execute(g, opts);
+  const ExecReport b = execute(g, opts);
+  EXPECT_EQ(a.strands, b.strands);
+  EXPECT_EQ(a.steals, 0u);
+  EXPECT_EQ(b.steals, 0u);
+}
 
 TEST(ExecutorStressExtra, RepeatedLargeParallelRuns) {
   // A wide, shallow tree exercised repeatedly to shake out deque races.
